@@ -1,0 +1,58 @@
+"""Shared benchmark infrastructure.
+
+Each ``test_fig*.py`` regenerates one figure of the paper's evaluation
+(section V) at a reduced scale and writes the series it measured to
+``benchmarks/results/<name>.txt`` (absolute numbers will differ from
+the paper — the substrate is a simulator — but the *shape* assertions
+in each benchmark check that the paper's qualitative findings hold).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import NrefScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scale of the synthetic NREF database used by the benchmarks.  The
+#: paper's NREF has ~100M rows / 6.5 GB; this keeps the same shape at
+#: laptop scale.
+BENCH_SCALE = NrefScale(proteins=2000)
+
+#: Statement counts for the three workload classes (paper: 50 / 50,000 /
+#: 1,000,000) scaled down proportionally.
+COMPLEX_COUNT = 50
+SIMPLE_JOIN_COUNT = 2000
+POINT_QUERY_COUNT = 8000
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered result table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> NrefScale:
+    return BENCH_SCALE

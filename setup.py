@@ -1,0 +1,19 @@
+"""Setuptools entry point.
+
+A setup.py is kept (alongside pyproject.toml metadata) so that editable
+installs work in offline environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Integrated performance monitoring for autonomous tuning "
+        "(ICDE 2009 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,38 @@
+"""System catalogs: schemas, table/index descriptors and statistics.
+
+The catalog is the second of the paper's three data categories
+("catalog information"): definitions of tables, attributes and indexes
+together with storage-structure metadata and optimizer statistics
+(histograms).  The integrated monitor reads this information *at the
+source* while statements are parsed and optimized instead of re-querying
+it from outside.
+"""
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    IndexDef,
+    StorageStructure,
+    TableSchema,
+)
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    Histogram,
+    TableStatistics,
+    collect_column_statistics,
+)
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "DataType",
+    "Histogram",
+    "IndexDef",
+    "StorageStructure",
+    "TableEntry",
+    "TableSchema",
+    "TableStatistics",
+    "collect_column_statistics",
+]

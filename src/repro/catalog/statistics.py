@@ -1,0 +1,203 @@
+"""Optimizer statistics: table stats and equi-depth column histograms.
+
+This is the engine-side substrate for two of the analyzer's rules:
+missing column statistics ("histograms should be created") and the
+actual-vs-estimated cost divergence rule (bad estimates usually trace
+back to missing or stale histograms).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-depth histogram over the non-NULL values of one column.
+
+    ``boundaries`` holds ``buckets + 1`` ascending values; bucket ``i``
+    covers ``(boundaries[i], boundaries[i+1]]`` and each bucket holds
+    roughly the same number of rows.  ``distinct_per_bucket`` stores the
+    number of distinct values seen per bucket for equality estimates.
+    """
+
+    boundaries: tuple[Any, ...]
+    rows_per_bucket: float
+    distinct_per_bucket: tuple[int, ...]
+
+    @property
+    def bucket_count(self) -> int:
+        return max(0, len(self.boundaries) - 1)
+
+    @property
+    def total_rows(self) -> float:
+        return self.rows_per_bucket * self.bucket_count
+
+    def selectivity_eq(self, value: Any) -> float:
+        """Estimated fraction of rows equal to ``value``.
+
+        A heavy value spans several buckets (its boundaries repeat the
+        value); each such degenerate bucket contributes fully.  A value
+        strictly inside one bucket, or sitting on a single boundary,
+        contributes one bucket's share.
+        """
+        if self.bucket_count == 0 or self.total_rows <= 0:
+            return 0.0
+        if value < self.boundaries[0] or value > self.boundaries[-1]:
+            return 0.0
+        left = max(0, bisect.bisect_left(self.boundaries, value) - 1)
+        right = min(self.bucket_count,
+                    bisect.bisect_right(self.boundaries, value))
+        buckets = [
+            i for i in range(left, right)
+            if (self.boundaries[i] < value < self.boundaries[i + 1])
+            or (self.boundaries[i] == value == self.boundaries[i + 1])
+        ]
+        if not buckets:
+            # value sits exactly on a boundary: attribute it to the
+            # bucket that ends there.
+            pos = bisect.bisect_left(self.boundaries, value, 1)
+            buckets = [min(pos - 1, self.bucket_count - 1)]
+        matching_rows = sum(
+            self.rows_per_bucket / max(1, self.distinct_per_bucket[i])
+            for i in buckets
+        )
+        return min(1.0, matching_rows / self.total_rows)
+
+    def selectivity_range(self, lo: Any | None, hi: Any | None,
+                          lo_inclusive: bool = True,
+                          hi_inclusive: bool = True) -> float:
+        """Estimated fraction of rows within [lo, hi].
+
+        Bucket interiors are assumed uniform; numeric boundaries are
+        interpolated, other types count whole buckets.
+        """
+        if self.bucket_count == 0 or self.total_rows <= 0:
+            return 0.0
+        lo_pos = 0.0 if lo is None else self._position(lo, low=True)
+        hi_pos = (float(self.bucket_count) if hi is None
+                  else self._position(hi, low=False))
+        fraction = max(0.0, hi_pos - lo_pos) / self.bucket_count
+        return min(1.0, fraction)
+
+    def _position(self, value: Any, low: bool) -> float:
+        """Fractional bucket position of ``value`` in [0, bucket_count].
+
+        ``low`` biases boundary ties: a lower bound equal to the domain
+        minimum maps to 0, an upper bound equal to the domain maximum
+        maps to the end — so degenerate single-value domains still give
+        a full-range fraction of 1.
+        """
+        if low and value <= self.boundaries[0]:
+            return 0.0
+        if not low and value >= self.boundaries[-1]:
+            return float(self.bucket_count)
+        if value <= self.boundaries[0]:
+            return 0.0
+        if value >= self.boundaries[-1]:
+            return float(self.bucket_count)
+        pos = bisect.bisect_left(self.boundaries, value, 1)
+        bucket = min(pos - 1, self.bucket_count - 1)
+        lo_bound = self.boundaries[bucket]
+        hi_bound = self.boundaries[bucket + 1]
+        if isinstance(value, (int, float)) and isinstance(lo_bound, (int, float)):
+            width = hi_bound - lo_bound
+            offset = (value - lo_bound) / width if width else 1.0
+        else:
+            offset = 0.5
+        return bucket + min(1.0, max(0.0, offset))
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics for one column."""
+
+    column_name: str
+    n_distinct: int
+    null_fraction: float
+    min_value: Any
+    max_value: Any
+    histogram: Histogram | None
+
+    def selectivity_eq(self, value: Any) -> float:
+        if value is None:
+            return self.null_fraction
+        if self.histogram is not None:
+            return self.histogram.selectivity_eq(value) * (1.0 - self.null_fraction)
+        if self.n_distinct <= 0:
+            return 0.0
+        return (1.0 - self.null_fraction) / self.n_distinct
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a table: cardinality plus per-column details.
+
+    ``collected_at`` lets the analyzer detect *stale* statistics by
+    comparing against the table's modification counter.
+    """
+
+    row_count: int
+    page_count: int
+    overflow_pages: int
+    collected_at: float = 0.0
+    rows_modified_since: int = 0
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        return self.columns.get(name.lower())
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of the table modified since statistics were collected."""
+        if self.row_count <= 0:
+            return 1.0 if self.rows_modified_since else 0.0
+        return min(1.0, self.rows_modified_since / self.row_count)
+
+
+def build_histogram(values: Sequence[Any], buckets: int = 20) -> Histogram | None:
+    """Build an equi-depth histogram from non-NULL ``values``."""
+    data = sorted(v for v in values if v is not None)
+    if not data:
+        return None
+    buckets = max(1, min(buckets, len(data)))
+    boundaries: list[Any] = [data[0]]
+    distinct_counts: list[int] = []
+    per_bucket = len(data) / buckets
+    start = 0
+    for i in range(1, buckets + 1):
+        end = round(i * per_bucket)
+        end = max(end, start + 1)
+        end = min(end, len(data))
+        chunk = data[start:end]
+        boundaries.append(chunk[-1])
+        distinct_counts.append(len(set(chunk)))
+        start = end
+        if start >= len(data):
+            break
+    return Histogram(
+        boundaries=tuple(boundaries),
+        rows_per_bucket=len(data) / len(distinct_counts),
+        distinct_per_bucket=tuple(distinct_counts),
+    )
+
+
+def collect_column_statistics(column_name: str, values: Iterable[Any],
+                              buckets: int = 20) -> ColumnStatistics:
+    """Scan ``values`` of one column and compute its statistics."""
+    materialized = list(values)
+    non_null = [v for v in materialized if v is not None]
+    null_fraction = (
+        (len(materialized) - len(non_null)) / len(materialized)
+        if materialized else 0.0
+    )
+    return ColumnStatistics(
+        column_name=column_name.lower(),
+        n_distinct=len(set(non_null)),
+        null_fraction=null_fraction,
+        min_value=min(non_null) if non_null else None,
+        max_value=max(non_null) if non_null else None,
+        histogram=build_histogram(non_null, buckets),
+    )

@@ -1,0 +1,141 @@
+"""Configuration objects for the engine and the monitoring subsystem.
+
+All tunables live here so that experiments can express their setups as
+plain dataclass instances.  The defaults mirror the paper where it gives
+concrete values (1000-statement ring buffers, 30 s daemon interval,
+7-day workload-DB retention) and otherwise use values appropriate for a
+laptop-scale simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Tunables for the simulated storage engine."""
+
+    page_size: int = 4096
+    """Bytes per page; rows are packed into slotted pages of this size."""
+
+    buffer_pool_pages: int = 256
+    """Number of pages the LRU buffer cache can hold."""
+
+    heap_fill_factor: float = 0.9
+    """Fraction of a heap main page filled before spilling to overflow."""
+
+    btree_order: int = 64
+    """Maximum number of keys per B-Tree node."""
+
+    read_latency_s: float = 0.0
+    """Optional simulated latency charged per physical page read."""
+
+    write_latency_s: float = 0.0
+    """Optional simulated latency charged per physical page write."""
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Weights of the optimizer cost model (requirement ii of the paper:
+    all what-if decisions use the engine's own model)."""
+
+    io_page_cost: float = 4.0
+    """Cost units charged per page read from disk."""
+
+    cpu_tuple_cost: float = 0.01
+    """Cost units charged per tuple processed by an operator."""
+
+    cpu_operator_cost: float = 0.0025
+    """Cost units charged per predicate/expression evaluation."""
+
+    cpu_index_tuple_cost: float = 0.005
+    """Cost units charged per index entry touched."""
+
+    sort_page_cost: float = 2.0
+    """Cost units charged per page of an external sort pass."""
+
+    default_selectivity_eq: float = 0.005
+    """Equality selectivity assumed when no histogram exists."""
+
+    default_selectivity_range: float = 0.33
+    """Range selectivity assumed when no histogram exists."""
+
+
+@dataclass(frozen=True)
+class LockConfig:
+    """Lock manager tunables."""
+
+    wait_timeout_s: float = 10.0
+    """Seconds a lock request may wait before raising LockTimeoutError."""
+
+    deadlock_check_interval_s: float = 0.05
+    """How often waiting requests re-run deadlock detection."""
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables of the integrated monitor (section IV-A of the paper)."""
+
+    statement_buffer_size: int = 1000
+    """Ring-buffer capacity for distinct statements (paper default)."""
+
+    workload_buffer_size: int = 4000
+    """Ring-buffer capacity for workload (execution history) entries."""
+
+    reference_buffer_size: int = 8000
+    """Ring-buffer capacity for statement→object reference entries."""
+
+    statistics_buffer_size: int = 2000
+    """Ring-buffer capacity for system-wide statistics samples."""
+
+    plan_capture_min_cost: float = 100.0
+    """Capture the optimizer's plan text for statements whose estimated
+    cost reaches this value (AWR-style top-query plans); 0 disables."""
+
+    plan_buffer_size: int = 200
+    """Ring-buffer capacity for captured plans."""
+
+    max_statement_text: int = 1024
+    """Captured query texts are truncated to this many characters (the
+    statement hash still covers the full text)."""
+
+    statement_cache_enabled: bool = True
+    """Cache per-statement-hash reference extraction so repeated texts
+    skip re-logging catalog references (the caching strategy the paper's
+    section V-A proposes to reduce the 1m-test overhead)."""
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Tunables of the storage daemon (section IV-B of the paper)."""
+
+    poll_interval_s: float = 30.0
+    """Seconds between IMA polls (paper default: 30 s)."""
+
+    flush_every_polls: int = 4
+    """Polls buffered in memory before appending to the workload DB,
+    modelling the paper's 'disk accesses every few minutes'."""
+
+    retention_s: float = 7 * 24 * 3600.0
+    """Seconds of history kept in the workload DB (paper: seven days)."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Top-level configuration for one engine instance."""
+
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    cost_model: CostModelConfig = field(default_factory=CostModelConfig)
+    locks: LockConfig = field(default_factory=LockConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    daemon: DaemonConfig = field(default_factory=DaemonConfig)
+
+    join_dp_threshold: int = 6
+    """Use dynamic-programming join enumeration up to this many inputs;
+    fall back to a greedy heuristic beyond it."""
+
+    plan_cache_size: int = 256
+    """Per-session cache of compiled SELECT plans keyed by statement
+    text (the engine-side caching that makes the paper's repeated 1m
+    statements cheap).  0 disables plan caching."""

@@ -1,0 +1,70 @@
+"""Standard alert rules for the workload database.
+
+The paper's daemon "provides an active alerting mechanism that informs
+the DBA in case of a defined database event such as reaching the
+maximum number of users", and DBAs add their own alerts "by creating
+more triggers".  These helpers install the standard set as ordinary SQL
+triggers on the workload DB; fired alerts accumulate on
+``workload_db.database.triggers.alerts`` (and on any registered
+listener).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.workload_db import WorkloadDatabase
+from repro.engine.triggers import Alert
+from repro.sql.parser import parse_statement
+from repro.sql import ast_nodes as ast
+
+
+def _install(workload_db: WorkloadDatabase, name: str, table: str,
+             condition_sql: str, message: str) -> None:
+    statement = parse_statement(
+        f"create trigger {name} on {table} when {condition_sql} "
+        f"raise '{message}'"
+    )
+    assert isinstance(statement, ast.CreateTriggerStatement)
+    schema = workload_db.database.catalog.table(table).schema
+    workload_db.database.triggers.create(
+        statement.trigger_name, schema, statement.condition,
+        statement.message)
+
+
+def install_standard_alerts(workload_db: WorkloadDatabase,
+                            max_sessions: int = 32,
+                            lock_wait_threshold: int = 100,
+                            overflow_ratio_percent: int = 10) -> None:
+    """Install the default alert triggers on the workload DB."""
+    _install(
+        workload_db, "alert_max_sessions", "wl_statistics",
+        f"current_sessions >= {max_sessions}",
+        "maximum number of sessions reached",
+    )
+    _install(
+        workload_db, "alert_deadlocks", "wl_statistics",
+        "deadlocks > 0",
+        "deadlocks detected",
+    )
+    _install(
+        workload_db, "alert_lock_waits", "wl_statistics",
+        f"lock_waits >= {lock_wait_threshold}",
+        "high number of lock waits",
+    )
+    _install(
+        workload_db, "alert_overflow_pages", "wl_tables",
+        f"overflow_pages * 100 > data_pages * {overflow_ratio_percent}",
+        "table has a high share of overflow pages",
+    )
+
+
+def add_alert_listener(workload_db: WorkloadDatabase,
+                       listener: Callable[[Alert], None]) -> None:
+    """Register a callback invoked for every fired alert."""
+    workload_db.database.triggers.listeners.append(listener)
+
+
+def fired_alerts(workload_db: WorkloadDatabase) -> list[Alert]:
+    """All alerts fired so far, oldest first."""
+    return list(workload_db.database.triggers.alerts)

@@ -1,0 +1,153 @@
+"""The analyzer orchestrator: workload view -> report + recommendations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.analyzer.index_advisor import AdvisorConfig, IndexAdvisor
+from repro.core.analyzer.recommendations import Recommendation
+from repro.core.analyzer.reports import (
+    CostDiagram,
+    LocksDiagram,
+    cost_diagram,
+    locks_diagram,
+)
+from repro.core.analyzer.rules import RuleConfig, RuleFindings, run_rules
+from repro.core.analyzer.trends import (
+    Prediction,
+    Trend,
+    predict_threshold_crossings,
+    trends_from_statistics,
+)
+from repro.core.analyzer.workload_view import (
+    WorkloadView,
+    view_from_monitor,
+    view_from_workload_db,
+)
+from repro.core.monitor import IntegratedMonitor
+from repro.core.workload_db import WorkloadDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    view: WorkloadView
+    findings: RuleFindings
+    index_recommendations: list[Recommendation]
+    cost_diagram: CostDiagram
+    locks_diagram: LocksDiagram
+    trends: dict[str, Trend] = field(default_factory=dict)
+    predictions: list[Prediction] = field(default_factory=list)
+    duration_s: float = 0.0
+    statements_analyzed: int = 0
+
+    @property
+    def recommendations(self) -> list[Recommendation]:
+        """Rule recommendations followed by index recommendations."""
+        return list(self.findings.recommendations) \
+            + list(self.index_recommendations)
+
+    def render_text(self) -> str:
+        """The DBA-facing textual report."""
+        lines = [
+            "=" * 72,
+            "ANALYZER REPORT",
+            "=" * 72,
+            f"statements analyzed: {self.statements_analyzed} "
+            f"(analysis took {self.duration_s:.1f}s)",
+            "",
+            f"statements with significant cost divergence: "
+            f"{len(self.findings.divergent_statements)}",
+            f"tables with missing/stale statistics: "
+            f"{', '.join(self.findings.tables_needing_statistics) or '-'}",
+            f"tables above the overflow threshold: "
+            f"{', '.join(self.findings.overflow_tables) or '-'}",
+            "",
+            "RECOMMENDATIONS",
+            "-" * 72,
+        ]
+        if self.recommendations:
+            lines.extend(r.describe() for r in self.recommendations)
+        else:
+            lines.append("(none — the physical design fits the workload)")
+        if self.predictions:
+            lines += ["", "PREDICTIONS", "-" * 72]
+            lines.extend(p.describe() for p in self.predictions)
+        lines += ["", "COST DIAGRAM (top statements)", "-" * 72,
+                  self.cost_diagram.render()]
+        captured = [
+            (profile, self.view.plans[profile.text_hash])
+            for profile in self.view.top_statements(count=3)
+            if profile.text_hash in self.view.plans
+        ]
+        if captured:
+            lines += ["", "CAPTURED PLANS (most expensive statements)",
+                      "-" * 72]
+            for profile, plan_text in captured:
+                lines.append(f"{profile.text[:70]}")
+                lines.append("  " + plan_text.replace("\n", "\n  "))
+        lines += ["", "LOCKS DIAGRAM", "-" * 72, self.locks_diagram.render()]
+        return "\n".join(lines)
+
+
+class Analyzer:
+    """Scans collected monitor data and recommends design changes."""
+
+    def __init__(self, database: "Database",
+                 rule_config: RuleConfig | None = None,
+                 advisor_config: AdvisorConfig | None = None,
+                 thresholds: dict[str, float] | None = None) -> None:
+        self.database = database
+        self.rule_config = rule_config or RuleConfig()
+        self.advisor_config = advisor_config or AdvisorConfig()
+        self.thresholds = thresholds or {}
+
+    def analyze_workload_db(self, workload_db: WorkloadDatabase,
+                            top_statements: int = 10) -> AnalysisReport:
+        """Analyze the persisted workload history (the normal path)."""
+        view = view_from_workload_db(workload_db)
+        statistics_rows = [
+            row for _rowid, row in
+            workload_db.database.storage_for("wl_statistics").scan()
+        ]
+        return self._analyze(view, statistics_rows, top_statements)
+
+    def analyze_monitor(self, monitor: IntegratedMonitor,
+                        top_statements: int = 10) -> AnalysisReport:
+        """Ad-hoc analysis of the live in-memory monitor window."""
+        view = view_from_monitor(monitor, self.database)
+        statistics_rows = [record.as_row()
+                           for record in monitor.statistics.values()]
+        return self._analyze(view, statistics_rows, top_statements)
+
+    def _analyze(self, view: WorkloadView, statistics_rows: list[tuple],
+                 top_statements: int) -> AnalysisReport:
+        started = self.database.clock.monotonic()
+        findings = run_rules(view, self.database, self.rule_config)
+        advisor = IndexAdvisor(self.database, self.advisor_config)
+        advice = advisor.advise(view.select_statements())
+        virtual_costs = {
+            a.text_hash: a.virtual_estimated_cost for a in advice.per_statement
+        }
+        diagram = cost_diagram(list(view.statements.values()),
+                               virtual_costs, top=top_statements)
+        trends = trends_from_statistics(statistics_rows) \
+            if statistics_rows else {}
+        predictions = predict_threshold_crossings(trends, self.thresholds) \
+            if self.thresholds else []
+        return AnalysisReport(
+            view=view,
+            findings=findings,
+            index_recommendations=advice.recommendations,
+            cost_diagram=diagram,
+            locks_diagram=locks_diagram(statistics_rows),
+            trends=trends,
+            predictions=predictions,
+            duration_s=self.database.clock.monotonic() - started,
+            statements_analyzed=len(view.statements),
+        )

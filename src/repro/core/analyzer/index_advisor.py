@@ -1,0 +1,270 @@
+"""The virtual-index advisor.
+
+For each recorded SELECT the advisor generates candidate indexes from
+the statement's sargable and join columns, registers them as *virtual*
+indexes, and lets the engine's own optimizer decide whether it would
+use them (the paper's requirement ii).  A candidate earns a vote each
+time it appears in a statement's improved plan, weighted by the
+statement's recorded frequency; the recommended set is the voted
+candidates — matching the paper's presumption that "an index that was
+recommended for many statements is more useful".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.catalog.schema import IndexDef
+from repro.config import EngineConfig
+from repro.core.analyzer.recommendations import (
+    Recommendation,
+    RecommendationKind,
+)
+from repro.core.analyzer.workload_view import StatementProfile
+from repro.errors import ReproError
+from repro.optimizer.predicates import (
+    BindingResolver,
+    classify_conjuncts,
+    split_conjuncts,
+)
+from repro.optimizer.what_if import WhatIfOutcome, what_if_optimize
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+CandidateKey = tuple[str, tuple[str, ...]]  # (table, columns)
+
+
+@dataclass(frozen=True)
+class AdvisorConfig:
+    max_index_width: int = 3
+    min_benefit_ratio: float = 0.05
+    """A what-if plan must cut estimated cost by at least this fraction
+    for its virtual indexes to earn votes."""
+    min_votes: int = 1
+    max_candidates_per_statement: int = 12
+
+
+@dataclass
+class StatementAdvice:
+    """What-if outcome for one statement (feeds the cost diagram)."""
+
+    text_hash: int
+    text: str
+    frequency: int
+    actual_cost: float
+    estimated_cost: float
+    virtual_estimated_cost: float
+    virtual_indexes_used: tuple[CandidateKey, ...]
+
+    @property
+    def improved(self) -> bool:
+        return self.virtual_estimated_cost < self.estimated_cost
+
+
+@dataclass
+class AdvisorResult:
+    per_statement: list[StatementAdvice] = field(default_factory=list)
+    votes: dict[CandidateKey, int] = field(default_factory=dict)
+    benefits: dict[CandidateKey, float] = field(default_factory=dict)
+    recommendations: list[Recommendation] = field(default_factory=list)
+    skipped_statements: int = 0
+
+
+class IndexAdvisor:
+    """Recommends secondary indexes via virtual-index what-if analysis."""
+
+    def __init__(self, database: "Database",
+                 config: AdvisorConfig | None = None,
+                 engine_config: EngineConfig | None = None) -> None:
+        self._database = database
+        self.config = config or AdvisorConfig()
+        self._engine_config = engine_config or database.config
+
+    # -- candidate generation ------------------------------------------------
+
+    def candidates_for(self, statement_text: str) -> list[IndexDef]:
+        """Candidate indexes for one SELECT, from its predicate columns."""
+        statement = parse_statement(statement_text)
+        if not isinstance(statement, ast.SelectStatement) \
+                or statement.from_table is None:
+            return []
+        bindings: dict[str, str] = {statement.from_table.binding:
+                                    statement.from_table.table_name}
+        for join in statement.joins:
+            bindings.setdefault(join.right.binding, join.right.table_name)
+        binding_columns = {}
+        for binding, table in bindings.items():
+            if not self._database.catalog.has_table(table):
+                return []
+            entry = self._database.catalog.table(table)
+            if entry.is_virtual:
+                return []
+            binding_columns[binding] = entry.schema.column_names
+        resolver = BindingResolver(binding_columns)
+        conjuncts = [resolver.qualify(c)
+                     for c in split_conjuncts(statement.where)]
+        for join in statement.joins:
+            if join.condition is not None:
+                conjuncts.extend(resolver.qualify(c)
+                                 for c in split_conjuncts(join.condition))
+        classified = classify_conjuncts(conjuncts)
+
+        eq_columns: dict[str, list[str]] = {}
+        range_columns: dict[str, list[str]] = {}
+        join_columns: dict[str, list[str]] = {}
+        for binding, predicates in classified.per_binding.items():
+            for predicate in predicates:
+                self._classify_sargable(predicate, binding, eq_columns,
+                                        range_columns)
+        for edge in classified.edges:
+            for ref in (edge.left, edge.right):
+                columns = join_columns.setdefault(ref.table, [])
+                if ref.name not in columns:
+                    columns.append(ref.name)
+
+        keys: list[CandidateKey] = []
+        seen: set[CandidateKey] = set()
+
+        def add(binding: str, columns: tuple[str, ...]) -> None:
+            table = bindings[binding]
+            trimmed = columns[: self.config.max_index_width]
+            key = (table.lower(), trimmed)
+            if trimmed and key not in seen:
+                seen.add(key)
+                keys.append(key)
+
+        for binding in bindings:
+            eqs = tuple(eq_columns.get(binding, ()))
+            ranges = tuple(range_columns.get(binding, ()))
+            joins = tuple(join_columns.get(binding, ()))
+            for column in joins:
+                add(binding, (column,))
+            if eqs:
+                add(binding, eqs)
+                for column in eqs:
+                    add(binding, (column,))
+                if ranges:
+                    add(binding, eqs + (ranges[0],))
+            if joins and eqs:
+                add(binding, joins[:1] + eqs)
+            if ranges and not eqs:
+                add(binding, ranges[:1])
+
+        keys = keys[: self.config.max_candidates_per_statement]
+        return [self._definition(table, columns) for table, columns in keys]
+
+    @staticmethod
+    def _classify_sargable(predicate: ast.Expression, binding: str,
+                           eq_columns: dict[str, list[str]],
+                           range_columns: dict[str, list[str]]) -> None:
+        if isinstance(predicate, ast.Between) \
+                and isinstance(predicate.operand, ast.ColumnRef):
+            columns = range_columns.setdefault(binding, [])
+            if predicate.operand.name not in columns:
+                columns.append(predicate.operand.name)
+            return
+        if not isinstance(predicate, ast.BinaryOp):
+            return
+        column: ast.ColumnRef | None = None
+        if isinstance(predicate.left, ast.ColumnRef) \
+                and isinstance(predicate.right, ast.Literal):
+            column = predicate.left
+        elif isinstance(predicate.right, ast.ColumnRef) \
+                and isinstance(predicate.left, ast.Literal):
+            column = predicate.right
+        if column is None:
+            return
+        if predicate.op == "=":
+            columns = eq_columns.setdefault(binding, [])
+            if column.name not in columns:
+                columns.append(column.name)
+        elif predicate.op in ("<", "<=", ">", ">="):
+            columns = range_columns.setdefault(binding, [])
+            if column.name not in columns:
+                columns.append(column.name)
+
+    @staticmethod
+    def _definition(table: str, columns: tuple[str, ...]) -> IndexDef:
+        name = f"vidx_{table}_{'_'.join(columns)}"
+        return IndexDef(name=name, table_name=table, column_names=columns,
+                        virtual=True)
+
+    # -- advising -------------------------------------------------------------------
+
+    def advise_statement(self, statement_text: str) -> WhatIfOutcome | None:
+        """What-if outcome for one statement, or None if not advisable."""
+        candidates = self.candidates_for(statement_text)
+        if not candidates:
+            return None
+        return what_if_optimize(self._database, statement_text, candidates,
+                                self._engine_config)
+
+    def advise(self, profiles: list[StatementProfile]) -> AdvisorResult:
+        """Run what-if analysis over a workload and vote on candidates."""
+        result = AdvisorResult()
+        reasons: dict[CandidateKey, list[int]] = {}
+        for profile in profiles:
+            if not profile.text:
+                result.skipped_statements += 1
+                continue
+            try:
+                candidates = self.candidates_for(profile.text)
+                if not candidates:
+                    result.skipped_statements += 1
+                    continue
+                name_to_key: dict[str, CandidateKey] = {
+                    d.name: (d.table_name, d.column_names)
+                    for d in candidates
+                }
+                outcome = what_if_optimize(
+                    self._database, profile.text, candidates,
+                    self._engine_config)
+            except ReproError:
+                result.skipped_statements += 1
+                continue
+            used_keys: list[CandidateKey] = []
+            improvement = outcome.benefit / outcome.baseline_cost \
+                if outcome.baseline_cost > 0 else 0.0
+            counted = improvement >= self.config.min_benefit_ratio
+            if counted:
+                for name in outcome.virtual_indexes_used:
+                    key = name_to_key.get(name)
+                    if key is None:
+                        continue
+                    used_keys.append(key)
+                    weight = max(1, profile.frequency)
+                    result.votes[key] = result.votes.get(key, 0) + weight
+                    result.benefits[key] = (result.benefits.get(key, 0.0)
+                                            + outcome.benefit
+                                            * max(1, profile.frequency))
+                    reasons.setdefault(key, []).append(profile.text_hash)
+            result.per_statement.append(StatementAdvice(
+                text_hash=profile.text_hash,
+                text=profile.text,
+                frequency=profile.frequency,
+                actual_cost=profile.avg_actual_cost,
+                estimated_cost=outcome.baseline_cost,
+                virtual_estimated_cost=(outcome.hypothetical_cost if counted
+                                        else outcome.baseline_cost),
+                virtual_indexes_used=tuple(used_keys),
+            ))
+        for key, votes in sorted(result.votes.items(),
+                                 key=lambda item: (-item[1], item[0])):
+            if votes < self.config.min_votes:
+                continue
+            table, columns = key
+            result.recommendations.append(Recommendation(
+                kind=RecommendationKind.CREATE_INDEX,
+                table_name=table,
+                columns=columns,
+                index_name=f"idx_{table}_{'_'.join(columns)}",
+                reason=(f"chosen by the optimizer for {votes} weighted "
+                        f"statement(s) in what-if analysis"),
+                estimated_benefit=result.benefits.get(key, 0.0),
+                statements_affected=tuple(reasons.get(key, ())),
+            ))
+        return result

@@ -1,0 +1,90 @@
+"""Recommendation model and the implementation phase of the loop.
+
+Each rule/advisor emits :class:`Recommendation` objects carrying the
+SQL that would implement them.  ``apply_recommendations`` executes the
+accepted set against a session — in the paper this step is manual (the
+DBA reviews the report first); here both modes are supported.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import Session
+
+
+class RecommendationKind(enum.Enum):
+    CREATE_STATISTICS = "create statistics"
+    CREATE_INDEX = "create index"
+    MODIFY_TO_BTREE = "modify to btree"
+
+
+@dataclass
+class Recommendation:
+    """One proposed physical-design change."""
+
+    kind: RecommendationKind
+    table_name: str
+    columns: tuple[str, ...] = ()
+    index_name: str = ""
+    reason: str = ""
+    estimated_benefit: float = 0.0
+    """Estimated cost-unit reduction across the workload (0 if unknown)."""
+    statements_affected: tuple[int, ...] = ()
+    """Hashes of the statements that motivated this recommendation."""
+
+    def to_sql(self) -> str:
+        if self.kind is RecommendationKind.CREATE_STATISTICS:
+            if self.columns:
+                cols = ", ".join(self.columns)
+                return f"create statistics on {self.table_name} ({cols})"
+            return f"create statistics on {self.table_name}"
+        if self.kind is RecommendationKind.CREATE_INDEX:
+            cols = ", ".join(self.columns)
+            return (f"create index {self.index_name} "
+                    f"on {self.table_name} ({cols})")
+        return f"modify {self.table_name} to btree"
+
+    def describe(self) -> str:
+        line = f"[{self.kind.value}] {self.to_sql()}"
+        if self.reason:
+            line += f"  -- {self.reason}"
+        return line
+
+
+@dataclass
+class AppliedRecommendation:
+    recommendation: Recommendation
+    sql: str
+    succeeded: bool
+    error: str = ""
+
+
+def apply_recommendations(session: "Session",
+                          recommendations: list[Recommendation],
+                          ) -> list[AppliedRecommendation]:
+    """Implement the accepted recommendations through a session.
+
+    MODIFY operations run first (so index builds land on the final
+    structure), then index creations, then statistics collection (so
+    histograms reflect the final physical layout).
+    """
+    order = {
+        RecommendationKind.MODIFY_TO_BTREE: 0,
+        RecommendationKind.CREATE_INDEX: 1,
+        RecommendationKind.CREATE_STATISTICS: 2,
+    }
+    applied: list[AppliedRecommendation] = []
+    for recommendation in sorted(recommendations,
+                                 key=lambda r: order[r.kind]):
+        sql = recommendation.to_sql()
+        try:
+            session.execute(sql)
+            applied.append(AppliedRecommendation(recommendation, sql, True))
+        except Exception as error:  # noqa: BLE001 - report, don't abort
+            applied.append(AppliedRecommendation(
+                recommendation, sql, False, str(error)))
+    return applied

@@ -1,0 +1,143 @@
+"""Trend analysis over the recorded statistics time series.
+
+The paper's third analysis level "interprets the data's meaning,
+identifies trends and patterns and starts predicting potential problems
+in advance" (left as an outlook in section VI).  This module implements
+it: least-squares fits over any statistics field, with threshold-
+crossing forecasts ("at the current growth, the session count reaches
+the configured maximum in ~3 hours").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.records import STATISTIC_FIELDS
+
+
+@dataclass(frozen=True)
+class Trend:
+    """A fitted linear trend over one statistics field."""
+
+    field: str
+    samples: int
+    slope_per_second: float
+    intercept: float
+    first_timestamp: float
+    last_timestamp: float
+    last_value: float
+    r_squared: float
+
+    @property
+    def rising(self) -> bool:
+        return self.slope_per_second > 0
+
+    def value_at(self, timestamp: float) -> float:
+        return self.intercept + self.slope_per_second * (
+            timestamp - self.first_timestamp)
+
+    def seconds_until(self, threshold: float) -> float | None:
+        """Seconds after the last sample until ``threshold`` is reached,
+        or None if the trend never gets there."""
+        if self.slope_per_second <= 0:
+            return None if self.last_value < threshold else 0.0
+        if self.last_value >= threshold:
+            return 0.0
+        return (threshold - self.last_value) / self.slope_per_second
+
+
+def fit_trend(field: str,
+              points: Sequence[tuple[float, float]]) -> Trend | None:
+    """Least-squares line through (timestamp, value) points."""
+    if len(points) < 2:
+        return None
+    ordered = sorted(points)
+    t0 = ordered[0][0]
+    xs = [t - t0 for t, _ in ordered]
+    ys = [v for _, v in ordered]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    ss_xx = sum((x - mean_x) ** 2 for x in xs)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    ss_yy = sum((y - mean_y) ** 2 for y in ys)
+    if ss_xx == 0:
+        return None
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    if ss_yy == 0:
+        r_squared = 1.0
+    else:
+        residuals = sum(
+            (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+        r_squared = max(0.0, 1.0 - residuals / ss_yy)
+    return Trend(
+        field=field,
+        samples=n,
+        slope_per_second=slope,
+        intercept=intercept,
+        first_timestamp=t0,
+        last_timestamp=ordered[-1][0],
+        last_value=ordered[-1][1],
+        r_squared=r_squared,
+    )
+
+
+def trends_from_statistics(rows: Sequence[tuple],
+                           fields: Sequence[str] = STATISTIC_FIELDS,
+                           ) -> dict[str, Trend]:
+    """Fit every requested field of wl_statistics/ima_statistics rows.
+
+    Rows are read from their last 13 fields: (ts, current_sessions,
+    peak_sessions, locks_held, lock_waiters, lock_requests, lock_waits,
+    deadlocks, lock_timeouts, cache_hits, cache_misses, physical_reads,
+    physical_writes).
+    """
+    position = {name: i + 1 for i, name in enumerate(STATISTIC_FIELDS)}
+    series: dict[str, list[tuple[float, float]]] = {f: [] for f in fields}
+    for row in rows:
+        payload = row[-13:]
+        timestamp = payload[0]
+        for field in fields:
+            series[field].append((timestamp, float(payload[position[field]])))
+    fitted: dict[str, Trend] = {}
+    for field, points in series.items():
+        trend = fit_trend(field, points)
+        if trend is not None:
+            fitted[field] = trend
+    return fitted
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A forecast threshold crossing."""
+
+    field: str
+    threshold: float
+    seconds_until: float
+    trend: Trend
+
+    def describe(self) -> str:
+        hours = self.seconds_until / 3600.0
+        return (f"{self.field} is rising "
+                f"({self.trend.slope_per_second:+.4f}/s, "
+                f"r2={self.trend.r_squared:.2f}); reaches "
+                f"{self.threshold:g} in ~{hours:.1f}h")
+
+
+def predict_threshold_crossings(trends: dict[str, Trend],
+                                thresholds: dict[str, float],
+                                min_r_squared: float = 0.5,
+                                ) -> list[Prediction]:
+    """Forecast which monitored fields will cross their thresholds."""
+    predictions: list[Prediction] = []
+    for field, threshold in thresholds.items():
+        trend = trends.get(field)
+        if trend is None or trend.r_squared < min_r_squared:
+            continue
+        eta = trend.seconds_until(threshold)
+        if eta is not None:
+            predictions.append(Prediction(field, threshold, eta, trend))
+    predictions.sort(key=lambda p: p.seconds_until)
+    return predictions

@@ -1,0 +1,251 @@
+"""Aggregated view over the recorded workload.
+
+The analyzer does not consume raw workload-DB rows directly; this
+module folds the history into per-statement aggregates (executions,
+average actual/estimated costs, referenced objects) that the rules and
+the index advisor operate on.
+
+The view can be built from a :class:`WorkloadDatabase` (the normal
+path: analyze what the daemon persisted) or straight from a live
+:class:`IntegratedMonitor` (ad-hoc analysis of the in-memory window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.monitor import IntegratedMonitor
+from repro.core.workload_db import WorkloadDatabase
+
+
+@dataclass
+class StatementProfile:
+    """Everything recorded about one distinct statement."""
+
+    text_hash: int
+    text: str
+    executions: int = 0
+    frequency: int = 0
+    total_actual_io: float = 0.0
+    total_actual_cpu: float = 0.0
+    total_estimated_io: float = 0.0
+    total_estimated_cpu: float = 0.0
+    total_wallclock_s: float = 0.0
+    total_monitor_s: float = 0.0
+    used_indexes: set[str] = field(default_factory=set)
+    referenced_tables: set[str] = field(default_factory=set)
+    referenced_attributes: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def avg_actual_cost(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return (self.total_actual_io + self.total_actual_cpu) / self.executions
+
+    @property
+    def avg_estimated_cost(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return (self.total_estimated_io
+                + self.total_estimated_cpu) / self.executions
+
+    @property
+    def total_actual_cost(self) -> float:
+        return self.total_actual_io + self.total_actual_cpu
+
+    @property
+    def cost_divergence(self) -> float:
+        """max(actual/estimated, estimated/actual); 1.0 means perfect."""
+        actual = self.avg_actual_cost
+        estimated = self.avg_estimated_cost
+        if actual <= 0 or estimated <= 0:
+            return 1.0
+        return max(actual / estimated, estimated / actual)
+
+
+@dataclass
+class TableProfile:
+    """Physical snapshot of one referenced table at capture time."""
+
+    table_name: str
+    frequency: int = 0
+    structure: str = ""
+    data_pages: int = 0
+    overflow_pages: int = 0
+    row_count: int = 0
+    has_statistics: bool = False
+
+    @property
+    def overflow_ratio(self) -> float:
+        if self.data_pages <= 0:
+            return 0.0
+        return self.overflow_pages / self.data_pages
+
+
+@dataclass
+class WorkloadView:
+    """Aggregated workload: statements + table/attribute facts."""
+
+    statements: dict[int, StatementProfile] = field(default_factory=dict)
+    tables: dict[str, TableProfile] = field(default_factory=dict)
+    attributes_without_histograms: set[tuple[str, str]] = \
+        field(default_factory=set)
+    plans: dict[int, str] = field(default_factory=dict)
+    """Captured plan text per statement hash (expensive statements)."""
+
+    def top_statements(self, count: int = 10,
+                       by: str = "total") -> list[StatementProfile]:
+        """Most expensive statements; ``by`` is 'total' or 'average'."""
+        key = ((lambda s: s.total_actual_cost) if by == "total"
+               else (lambda s: s.avg_actual_cost))
+        ranked = sorted(self.statements.values(), key=key, reverse=True)
+        return ranked[:count]
+
+    def select_statements(self) -> list[StatementProfile]:
+        """Profiles whose text looks like a query (the advisor's input)."""
+        return [profile for profile in self.statements.values()
+                if profile.text.lstrip().lower().startswith("select")]
+
+
+def view_from_workload_db(workload_db: WorkloadDatabase) -> WorkloadView:
+    """Fold the persisted history into a :class:`WorkloadView`."""
+    view = WorkloadView()
+    database = workload_db.database
+
+    # Statements: keep the newest capture per hash.
+    newest: dict[int, tuple] = {}
+    for _rowid, row in database.storage_for("wl_statements").scan():
+        captured_at, text_hash = row[0], row[1]
+        current = newest.get(text_hash)
+        if current is None or captured_at >= current[0]:
+            newest[text_hash] = row
+    for text_hash, row in newest.items():
+        view.statements[text_hash] = StatementProfile(
+            text_hash=text_hash, text=row[2], frequency=row[3],
+        )
+
+    for _rowid, row in database.storage_for("wl_workload").scan():
+        (_captured, text_hash, _session, _ts, _opt, _exec, wallclock,
+         est_io, est_cpu, act_io, act_cpu, _lr, _pr, _tp, _rr,
+         used_indexes, monitor_s) = row
+        profile = view.statements.get(text_hash)
+        if profile is None:
+            profile = StatementProfile(text_hash=text_hash, text="")
+            view.statements[text_hash] = profile
+        profile.executions += 1
+        profile.total_actual_io += act_io
+        profile.total_actual_cpu += act_cpu
+        profile.total_estimated_io += est_io
+        profile.total_estimated_cpu += est_cpu
+        profile.total_wallclock_s += wallclock
+        profile.total_monitor_s += monitor_s
+        if used_indexes:
+            profile.used_indexes.update(used_indexes.split(","))
+
+    for _rowid, row in database.storage_for("wl_references").scan():
+        _captured, text_hash, object_type, object_name, table_name, _freq = row
+        profile = view.statements.get(text_hash)
+        if profile is None:
+            continue
+        if object_type == "table":
+            profile.referenced_tables.add(object_name)
+        elif object_type == "attribute":
+            table, _, column = object_name.partition(".")
+            profile.referenced_attributes.add((table, column))
+
+    newest_tables: dict[str, tuple] = {}
+    for _rowid, row in database.storage_for("wl_tables").scan():
+        captured_at, table_name = row[0], row[1]
+        current = newest_tables.get(table_name)
+        if current is None or captured_at >= current[0]:
+            newest_tables[table_name] = row
+    for table_name, row in newest_tables.items():
+        view.tables[table_name] = TableProfile(
+            table_name=table_name, frequency=row[2], structure=row[3],
+            data_pages=row[4], overflow_pages=row[5], row_count=row[6],
+            has_statistics=bool(row[7]),
+        )
+
+    newest_plans: dict[int, tuple] = {}
+    for _rowid, row in database.storage_for("wl_plans").scan():
+        captured_at, text_hash = row[0], row[1]
+        current = newest_plans.get(text_hash)
+        if current is None or captured_at >= current[0]:
+            newest_plans[text_hash] = row
+    for text_hash, row in newest_plans.items():
+        view.plans[text_hash] = row[3]
+
+    newest_attrs: dict[tuple[str, str], tuple] = {}
+    for _rowid, row in database.storage_for("wl_attributes").scan():
+        captured_at, table_name, attribute = row[0], row[1], row[2]
+        key = (table_name, attribute)
+        current = newest_attrs.get(key)
+        if current is None or captured_at >= current[0]:
+            newest_attrs[key] = row
+    for (table_name, attribute), row in newest_attrs.items():
+        if not row[4]:  # has_histogram
+            view.attributes_without_histograms.add((table_name, attribute))
+    return view
+
+
+def view_from_monitor(monitor: IntegratedMonitor,
+                      database=None) -> WorkloadView:
+    """Build the view straight from the in-memory monitor window."""
+    view = WorkloadView()
+    for _seq, record in monitor.statements.snapshot():
+        view.statements[record.text_hash] = StatementProfile(
+            text_hash=record.text_hash, text=record.text,
+            frequency=record.frequency,
+        )
+    for _seq, record in monitor.workload.snapshot():
+        profile = view.statements.get(record.text_hash)
+        if profile is None:
+            profile = StatementProfile(text_hash=record.text_hash, text="")
+            view.statements[record.text_hash] = profile
+        profile.executions += 1
+        profile.total_actual_io += record.actual_io
+        profile.total_actual_cpu += record.actual_cpu
+        profile.total_estimated_io += record.estimated_io
+        profile.total_estimated_cpu += record.estimated_cpu
+        profile.total_wallclock_s += record.wallclock_s
+        profile.total_monitor_s += record.monitor_time_s
+        if record.used_indexes:
+            profile.used_indexes.update(record.used_indexes.split(","))
+    for _seq, record in monitor.references.snapshot():
+        profile = view.statements.get(record.text_hash)
+        if profile is None:
+            continue
+        if record.object_type == "table":
+            profile.referenced_tables.add(record.object_name)
+        elif record.object_type == "attribute":
+            table, _, column = record.object_name.partition(".")
+            profile.referenced_attributes.add((table, column))
+    for _seq, record in monitor.tables.snapshot():
+        profile = TableProfile(table_name=record.table_name,
+                               frequency=record.frequency)
+        if database is not None and database.catalog.has_table(
+                record.table_name):
+            entry = database.catalog.table(record.table_name)
+            if not entry.is_virtual:
+                storage = database.storage_for(record.table_name)
+                profile.structure = entry.structure.value
+                profile.data_pages = storage.page_count
+                profile.overflow_pages = storage.overflow_page_count
+                profile.row_count = storage.row_count
+                profile.has_statistics = entry.statistics is not None
+        view.tables[record.table_name] = profile
+    for _seq, record in monitor.plans.snapshot():
+        view.plans[record.text_hash] = record.plan_text
+    for _seq, record in monitor.attributes.snapshot():
+        has_histogram = False
+        if database is not None and database.catalog.has_table(
+                record.table_name):
+            stats = database.catalog.table(record.table_name).statistics
+            if stats is not None:
+                column = stats.column(record.attribute_name)
+                has_histogram = (column is not None
+                                 and column.histogram is not None)
+        if not has_histogram:
+            view.attributes_without_histograms.add(
+                (record.table_name, record.attribute_name))
+    return view

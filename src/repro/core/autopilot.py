@@ -1,0 +1,153 @@
+"""Autonomous implementation of recommended changes.
+
+The last step of the paper's outlook (section VI): "a next step would
+then be the autonomous implementation of changes without interaction of
+the DBA."  :class:`AutonomousTuner` closes the control loop: each cycle
+it flushes the daemon, analyzes the workload DB, runs the accepted
+recommendations through the dependency graph and a safety policy, and
+applies the surviving set.
+
+Safety policy:
+
+* minimum estimated benefit for index creations,
+* an optional disk budget for new indexes,
+* a cap on changes per cycle,
+* structure changes (MODIFY) can be disabled for systems that cannot
+  afford offline rebuilds,
+* dry-run mode reports what *would* be applied,
+* changes already applied in an earlier cycle are never repeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.analyzer.analyzer import Analyzer
+from repro.core.analyzer.dependencies import (
+    build_dependency_graph,
+    select_recommendations,
+)
+from repro.core.analyzer.recommendations import (
+    AppliedRecommendation,
+    Recommendation,
+    RecommendationKind,
+    apply_recommendations,
+)
+from repro.core.daemon import StorageDaemon
+from repro.core.workload_db import WorkloadDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EngineInstance
+
+
+@dataclass(frozen=True)
+class TuningPolicy:
+    """Guard rails for autonomous changes."""
+
+    min_index_benefit: float = 0.0
+    disk_budget_bytes: int | None = None
+    max_changes_per_cycle: int = 16
+    allow_structure_changes: bool = True
+    dry_run: bool = False
+
+
+@dataclass
+class TuningCycleReport:
+    """What one autonomous cycle decided and did."""
+
+    cycle: int
+    statements_analyzed: int = 0
+    considered: list[Recommendation] = field(default_factory=list)
+    skipped: list[tuple[Recommendation, str]] = field(default_factory=list)
+    applied: list[AppliedRecommendation] = field(default_factory=list)
+    dry_run: bool = False
+
+    @property
+    def applied_count(self) -> int:
+        return sum(1 for a in self.applied if a.succeeded)
+
+    def describe(self) -> str:
+        lines = [f"autonomous tuning cycle #{self.cycle} "
+                 f"({'dry run' if self.dry_run else 'live'}):",
+                 f"  statements analyzed: {self.statements_analyzed}",
+                 f"  recommendations considered: {len(self.considered)}"]
+        for recommendation, reason in self.skipped:
+            lines.append(f"  skipped: {recommendation.to_sql()} -- {reason}")
+        for applied in self.applied:
+            status = "ok" if applied.succeeded else f"FAILED: {applied.error}"
+            lines.append(f"  applied: {applied.sql} -- {status}")
+        if self.dry_run and self.considered and not self.applied:
+            lines.append("  (dry run: nothing executed)")
+        return "\n".join(lines)
+
+
+class AutonomousTuner:
+    """Closes the monitoring -> analysis -> implementation loop."""
+
+    def __init__(self, engine: "EngineInstance", database_name: str,
+                 workload_db: WorkloadDatabase,
+                 daemon: StorageDaemon | None = None,
+                 policy: TuningPolicy | None = None,
+                 analyzer: Analyzer | None = None) -> None:
+        self.engine = engine
+        self.database_name = database_name
+        self.workload_db = workload_db
+        self.daemon = daemon
+        self.policy = policy or TuningPolicy()
+        self.analyzer = analyzer or Analyzer(engine.database(database_name))
+        self.history: list[TuningCycleReport] = []
+        self._already_applied: set[str] = set()
+
+    def run_cycle(self) -> TuningCycleReport:
+        """One full autonomous cycle; returns what happened."""
+        report = TuningCycleReport(cycle=len(self.history) + 1,
+                                   dry_run=self.policy.dry_run)
+        if self.daemon is not None:
+            self.daemon.poll_once()
+            self.daemon.flush()
+        analysis = self.analyzer.analyze_workload_db(self.workload_db)
+        report.statements_analyzed = analysis.statements_analyzed
+        report.considered = list(analysis.recommendations)
+
+        database = self.engine.database(self.database_name)
+        graph = build_dependency_graph(report.considered, database)
+        selection = select_recommendations(
+            graph,
+            disk_budget_bytes=self.policy.disk_budget_bytes,
+            min_benefit=self.policy.min_index_benefit,
+        )
+        report.skipped.extend(selection.dropped)
+
+        runnable: list[Recommendation] = []
+        for recommendation in selection.selected:
+            sql = recommendation.to_sql()
+            if sql in self._already_applied:
+                report.skipped.append(
+                    (recommendation, "already applied in an earlier cycle"))
+                continue
+            if (recommendation.kind is RecommendationKind.MODIFY_TO_BTREE
+                    and not self.policy.allow_structure_changes):
+                report.skipped.append(
+                    (recommendation, "structure changes disabled by policy"))
+                continue
+            if len(runnable) >= self.policy.max_changes_per_cycle:
+                report.skipped.append(
+                    (recommendation, "per-cycle change cap reached"))
+                continue
+            runnable.append(recommendation)
+
+        if not self.policy.dry_run and runnable:
+            with self.engine.connect(self.database_name) as session:
+                report.applied = apply_recommendations(session, runnable)
+            for applied in report.applied:
+                if applied.succeeded:
+                    self._already_applied.add(applied.sql)
+        elif self.policy.dry_run:
+            report.applied = []
+        self.history.append(report)
+        return report
+
+    @property
+    def total_changes_applied(self) -> int:
+        return len(self._already_applied)

@@ -1,0 +1,151 @@
+"""The storage daemon: periodic IMA polling into the workload database.
+
+A lightweight background worker that wakes up every ``poll_interval_s``
+(paper default: 30 s), reads the IMA virtual tables *over plain SQL*
+through an ordinary session, and buffers the new rows in memory.  Only
+every ``flush_every_polls`` polls does it append the buffered batch to
+the workload database and write to disk — the paper's "disk accesses
+are performed only every few minutes" design.  Each flush also applies
+the seven-day retention purge.
+
+``poll_once``/``flush`` are public so tests and benchmarks can drive
+the daemon deterministically; ``start``/``stop`` run it as a thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.clock import Clock
+from repro.config import DaemonConfig
+from repro.core.workload_db import TABLE_SOURCES, WorkloadDatabase
+from repro.errors import MonitorError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EngineInstance
+    from repro.engine.session import Session
+
+
+@dataclass(frozen=True)
+class PollStats:
+    """Outcome of one daemon poll."""
+
+    rows_collected: int
+    flushed: bool
+    rows_flushed: int
+    rows_purged: int
+
+
+class StorageDaemon:
+    """Polls IMA over SQL and persists the data with delayed writes."""
+
+    def __init__(self, engine: "EngineInstance", ima_database: str,
+                 workload_db: WorkloadDatabase,
+                 config: DaemonConfig | None = None) -> None:
+        self.engine = engine
+        self.ima_database = ima_database
+        self.workload_db = workload_db
+        self.config = config or engine.config.daemon
+        self.clock: Clock = engine.clock
+        self._session: "Session | None" = None
+        self._last_seq: dict[str, int] = {
+            source: 0 for source in TABLE_SOURCES.values()
+        }
+        self._pending: dict[str, list[tuple]] = {
+            table: [] for table in TABLE_SOURCES
+        }
+        self._polls_since_flush = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.total_polls = 0
+        self.total_rows_flushed = 0
+        self.total_rows_purged = 0
+
+    # -- polling ------------------------------------------------------------
+
+    def _ensure_session(self) -> "Session":
+        if self._session is None or self._session.closed:
+            self._session = self.engine.connect(self.ima_database)
+        return self._session
+
+    def poll_once(self) -> PollStats:
+        """One wake-up: read new IMA rows; flush if the batch is due."""
+        session = self._ensure_session()
+        collected = 0
+        for wl_table, ima_table in TABLE_SOURCES.items():
+            last = self._last_seq[ima_table]
+            result = session.execute(
+                f"select * from {ima_table} where seq > {last}"
+            )
+            for row in result.rows:
+                seq = row[0]
+                if seq > self._last_seq[ima_table]:
+                    self._last_seq[ima_table] = seq
+                self._pending[wl_table].append(tuple(row[1:]))
+                collected += 1
+        self.total_polls += 1
+        self._polls_since_flush += 1
+        flushed = False
+        rows_flushed = 0
+        rows_purged = 0
+        if self._polls_since_flush >= self.config.flush_every_polls:
+            rows_flushed, rows_purged = self.flush()
+            flushed = True
+        return PollStats(collected, flushed, rows_flushed, rows_purged)
+
+    def flush(self) -> tuple[int, int]:
+        """Append buffered rows to the workload DB and purge old history.
+
+        Returns (rows written, rows purged).
+        """
+        now = self.clock.now()
+        written = 0
+        for table, rows in self._pending.items():
+            if rows:
+                written += self.workload_db.append(table, rows, now)
+                rows.clear()
+        purged = self.workload_db.purge_older_than(
+            now - self.config.retention_s)
+        self.workload_db.flush()
+        self._polls_since_flush = 0
+        self.total_rows_flushed += written
+        self.total_rows_purged += purged
+        return written, purged
+
+    @property
+    def pending_rows(self) -> int:
+        return sum(len(rows) for rows in self._pending.values())
+
+    # -- background thread -------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the poll loop in a background thread."""
+        if self._thread is not None and self._thread.is_alive():
+            raise MonitorError("storage daemon is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-storage-daemon", daemon=True)
+        self._thread.start()
+
+    def stop(self, final_flush: bool = True) -> None:
+        """Stop the thread; by default flush whatever is buffered."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(5.0, self.config.poll_interval_s))
+            self._thread = None
+        if final_flush:
+            self.poll_once()
+            self.flush()
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.poll_interval_s):
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 - a poll failure must not
+                # kill the daemon; the next wake-up retries.
+                continue

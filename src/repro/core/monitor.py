@@ -1,0 +1,314 @@
+"""The integrated monitor: in-core sensors feeding ring buffers.
+
+:class:`IntegratedMonitor` owns the bounded in-memory structures of
+figure 3; :class:`MonitorSensors` is the sensor implementation compiled
+into the engine.  Each sensor call is timed with a high-resolution
+counter so that the share of monitoring in total statement time
+(figure 5) and the per-call overhead (section V-A's 1–2 µs measurement)
+can be reported.
+
+Statement caching
+-----------------
+Re-logging table/attribute/index references for a statement hash that
+is already in the buffer is skipped when
+``MonitorConfig.statement_cache_enabled`` is set — the "better caching
+strategy" the paper proposes to shrink the 1m-test overhead.  The
+ablation benchmark toggles this flag.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.clock import Clock, SystemClock
+from repro.config import MonitorConfig
+from repro.core.records import (
+    AttributeUsageRecord,
+    IndexUsageRecord,
+    PlanRecord,
+    ReferenceRecord,
+    StatementRecord,
+    StatisticsRecord,
+    TableUsageRecord,
+    WorkloadRecord,
+)
+from repro.core.ring_buffer import KeyedRingBuffer, RingBuffer
+from repro.core.sensors import Sensors, StatementContext, statement_hash
+
+STATISTICS_MIN_INTERVAL_S = 1.0
+
+
+class IntegratedMonitor:
+    """Bounded in-memory monitor data (the IMA-visible state)."""
+
+    def __init__(self, config: MonitorConfig | None = None,
+                 clock: Clock | None = None) -> None:
+        self.config = config or MonitorConfig()
+        self.clock = clock or SystemClock()
+        self.statements: KeyedRingBuffer[int, StatementRecord] = \
+            KeyedRingBuffer(self.config.statement_buffer_size)
+        self.workload: RingBuffer[WorkloadRecord] = \
+            RingBuffer(self.config.workload_buffer_size)
+        self.references: KeyedRingBuffer[tuple, ReferenceRecord] = \
+            KeyedRingBuffer(self.config.reference_buffer_size)
+        self.tables: KeyedRingBuffer[str, TableUsageRecord] = \
+            KeyedRingBuffer(self.config.reference_buffer_size)
+        self.attributes: KeyedRingBuffer[tuple, AttributeUsageRecord] = \
+            KeyedRingBuffer(self.config.reference_buffer_size)
+        self.indexes: KeyedRingBuffer[tuple, IndexUsageRecord] = \
+            KeyedRingBuffer(self.config.reference_buffer_size)
+        self.statistics: RingBuffer[StatisticsRecord] = \
+            RingBuffer(self.config.statistics_buffer_size)
+        self.plans: KeyedRingBuffer[int, PlanRecord] = \
+            KeyedRingBuffer(self.config.plan_buffer_size)
+        self.sensor_calls = 0
+        self.sensor_time_s = 0.0
+        self._last_statistics_at = float("-inf")
+
+    # -- recording -------------------------------------------------------
+
+    def record_statement(self, text: str, text_hash: int,
+                         now: float) -> bool:
+        """Upsert the statement record; True if the hash was new."""
+        was_known = text_hash in self.statements
+        limit = self.config.max_statement_text
+        self.statements.upsert(
+            text_hash,
+            create=lambda: StatementRecord(
+                text_hash=text_hash,
+                text=text if len(text) <= limit else text[:limit],
+                frequency=1, first_seen=now, last_seen=now,
+            ),
+            update=lambda record: record.bumped(now),
+        )
+        return not was_known
+
+    def record_references(self, text_hash: int,
+                          table_names: Sequence[str],
+                          columns: Sequence[tuple[str, str]] = (),
+                          index_names: Sequence[str] = ()) -> None:
+        """Log statement-to-object references (logged at the source: the
+        names are already in hand from parsing/optimizing)."""
+        for table in table_names:
+            self._reference(text_hash, "table", table, table)
+            self.tables.upsert(
+                table,
+                create=lambda t=table: TableUsageRecord(t, 1),
+                update=lambda record: record.bumped(),
+            )
+        for table, column in columns:
+            qualified = f"{table}.{column}"
+            self._reference(text_hash, "attribute", qualified, table)
+            self.attributes.upsert(
+                (table, column),
+                create=lambda t=table, c=column: AttributeUsageRecord(t, c, 1),
+                update=lambda record: record.bumped(),
+            )
+        for index in index_names:
+            self._reference(text_hash, "index", index, "")
+            self.indexes.upsert(
+                (index, ""),
+                create=lambda i=index: IndexUsageRecord(i, "", 1),
+                update=lambda record: record.bumped(),
+            )
+
+    def _reference(self, text_hash: int, object_type: str,
+                   object_name: str, table_name: str) -> None:
+        self.references.upsert(
+            (text_hash, object_type, object_name),
+            create=lambda: ReferenceRecord(
+                text_hash=text_hash, object_type=object_type,
+                object_name=object_name, table_name=table_name, frequency=1,
+            ),
+            update=lambda record: record.bumped(),
+        )
+
+    def record_workload(self, record: WorkloadRecord) -> int:
+        return self.workload.append(record)
+
+    def record_plan(self, text_hash: int, estimated_cost: float,
+                    plan_text: str, now: float) -> None:
+        """Keep the latest captured plan per statement hash."""
+        self.plans.upsert(
+            text_hash,
+            create=lambda: PlanRecord(text_hash, estimated_cost,
+                                      plan_text, now),
+            update=lambda _old: PlanRecord(text_hash, estimated_cost,
+                                           plan_text, now),
+        )
+
+    def record_statistics(self, values: Mapping[str, Any],
+                          now: float) -> bool:
+        """Append a statistics sample, rate-limited so per-statement
+        sampling does not flood the buffer."""
+        if now - self._last_statistics_at < STATISTICS_MIN_INTERVAL_S:
+            return False
+        self._last_statistics_at = now
+        known = {
+            key: value for key, value in values.items()
+            if key in StatisticsRecord.__dataclass_fields__
+        }
+        self.statistics.append(StatisticsRecord(timestamp=now, **known))
+        return True
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def average_sensor_call_s(self) -> float:
+        if self.sensor_calls == 0:
+            return 0.0
+        return self.sensor_time_s / self.sensor_calls
+
+    def reset_counters(self) -> None:
+        self.sensor_calls = 0
+        self.sensor_time_s = 0.0
+
+
+class MonitorSensors(Sensors):
+    """The in-core sensor implementation writing into the monitor."""
+
+    def __init__(self, monitor: IntegratedMonitor) -> None:
+        self.monitor = monitor
+
+    # Each sensor measures its own duration with time.perf_counter —
+    # these are the 1-2 microsecond calls section V-A talks about.
+
+    def statement_start(self, text: str,
+                        session_id: int = 0) -> StatementContext:
+        t0 = time.perf_counter()
+        ctx = StatementContext(
+            text=text,
+            text_hash=statement_hash(text),
+            started_monotonic=t0,
+            session_id=session_id,
+        )
+        elapsed = time.perf_counter() - t0
+        ctx.monitor_time_s += elapsed
+        self.monitor.sensor_calls += 1
+        self.monitor.sensor_time_s += elapsed
+        return ctx
+
+    def parse_complete(self, ctx: StatementContext | None, kind: str,
+                       table_names: Sequence[str]) -> None:
+        if ctx is None:
+            return
+        t0 = time.perf_counter()
+        ctx.statement_kind = kind
+        monitor = self.monitor
+        is_new = monitor.record_statement(ctx.text, ctx.text_hash,
+                                          monitor.clock.now())
+        if is_new or not monitor.config.statement_cache_enabled:
+            monitor.record_references(ctx.text_hash, table_names)
+        elapsed = time.perf_counter() - t0
+        ctx.monitor_time_s += elapsed
+        monitor.sensor_calls += 1
+        monitor.sensor_time_s += elapsed
+
+    def optimize_complete(self, ctx: StatementContext | None,
+                          estimated_io: float, estimated_cpu: float,
+                          used_indexes: Sequence[str],
+                          available_indexes: Sequence[str],
+                          referenced_columns: Sequence[tuple[str, str]],
+                          optimize_time_s: float,
+                          plan_supplier: Callable[[], str] | None = None,
+                          ) -> None:
+        if ctx is None:
+            return
+        t0 = time.perf_counter()
+        ctx.estimated_io = estimated_io
+        ctx.estimated_cpu = estimated_cpu
+        ctx.optimize_time_s = optimize_time_s
+        ctx.used_indexes = tuple(used_indexes)
+        monitor = self.monitor
+        cached = (monitor.config.statement_cache_enabled
+                  and monitor.statements.get(ctx.text_hash) is not None
+                  and monitor.statements.get(ctx.text_hash).frequency > 1)
+        if not cached:
+            monitor.record_references(
+                ctx.text_hash, (), referenced_columns, used_indexes)
+            threshold = monitor.config.plan_capture_min_cost
+            estimated_total = estimated_io + estimated_cpu
+            if (plan_supplier is not None and threshold > 0
+                    and estimated_total >= threshold):
+                monitor.record_plan(ctx.text_hash, estimated_total,
+                                    plan_supplier(), monitor.clock.now())
+        elapsed = time.perf_counter() - t0
+        ctx.monitor_time_s += elapsed
+        monitor.sensor_calls += 1
+        monitor.sensor_time_s += elapsed
+
+    def execute_complete(self, ctx: StatementContext | None,
+                         actual_io: float, actual_cpu: float,
+                         logical_reads: int, physical_reads: int,
+                         tuples_processed: int, rows_returned: int,
+                         execute_time_s: float,
+                         wallclock_s: float) -> None:
+        if ctx is None:
+            return
+        t0 = time.perf_counter()
+        monitor = self.monitor
+        monitor.record_workload(WorkloadRecord(
+            text_hash=ctx.text_hash,
+            session_id=ctx.session_id,
+            timestamp=monitor.clock.now(),
+            optimize_time_s=ctx.optimize_time_s,
+            execute_time_s=execute_time_s,
+            wallclock_s=wallclock_s,
+            estimated_io=ctx.estimated_io,
+            estimated_cpu=ctx.estimated_cpu,
+            actual_io=actual_io,
+            actual_cpu=actual_cpu,
+            logical_reads=logical_reads,
+            physical_reads=physical_reads,
+            tuples_processed=tuples_processed,
+            rows_returned=rows_returned,
+            used_indexes=",".join(ctx.used_indexes),
+            monitor_time_s=ctx.monitor_time_s,
+        ))
+        elapsed = time.perf_counter() - t0
+        ctx.monitor_time_s += elapsed
+        monitor.sensor_calls += 1
+        monitor.sensor_time_s += elapsed
+
+    def statement_error(self, ctx: StatementContext | None,
+                        error: str) -> None:
+        if ctx is None:
+            return
+        t0 = time.perf_counter()
+        # Errors still count as executions with zero cost so that the
+        # statement history shows failing statements.
+        self.monitor.record_workload(WorkloadRecord(
+            text_hash=ctx.text_hash,
+            session_id=ctx.session_id,
+            timestamp=self.monitor.clock.now(),
+            optimize_time_s=ctx.optimize_time_s,
+            execute_time_s=0.0,
+            wallclock_s=0.0,
+            estimated_io=ctx.estimated_io,
+            estimated_cpu=ctx.estimated_cpu,
+            actual_io=0.0,
+            actual_cpu=0.0,
+            logical_reads=0,
+            physical_reads=0,
+            tuples_processed=0,
+            rows_returned=0,
+            used_indexes="",
+            monitor_time_s=ctx.monitor_time_s,
+        ))
+        elapsed = time.perf_counter() - t0
+        ctx.monitor_time_s += elapsed
+        self.monitor.sensor_calls += 1
+        self.monitor.sensor_time_s += elapsed
+
+    def sample_statistics(self, supplier: Callable[[], Mapping[str, Any]],
+                          ) -> None:
+        monitor = self.monitor
+        now = monitor.clock.now()
+        if now - monitor._last_statistics_at < STATISTICS_MIN_INTERVAL_S:
+            return
+        t0 = time.perf_counter()
+        monitor.record_statistics(supplier(), now)
+        elapsed = time.perf_counter() - t0
+        monitor.sensor_calls += 1
+        monitor.sensor_time_s += elapsed

@@ -1,0 +1,145 @@
+"""Record types held in the monitor's ring buffers.
+
+These mirror the IMA virtual-table schema of figure 3 in the paper:
+``Statements``, ``Workload``, ``References``, ``Tables``, ``Attributes``,
+``Indexes`` and ``Statistics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class StatementRecord:
+    """One distinct statement text, keyed by its hash."""
+
+    text_hash: int
+    text: str
+    frequency: int
+    first_seen: float
+    last_seen: float
+
+    def bumped(self, now: float) -> "StatementRecord":
+        return replace(self, frequency=self.frequency + 1, last_seen=now)
+
+
+@dataclass(frozen=True)
+class WorkloadRecord:
+    """One execution of a statement: times and costs (figure 3's
+    ``Workload`` table)."""
+
+    text_hash: int
+    session_id: int
+    timestamp: float
+    optimize_time_s: float
+    execute_time_s: float
+    wallclock_s: float
+    estimated_io: float
+    estimated_cpu: float
+    actual_io: float
+    actual_cpu: float
+    logical_reads: int
+    physical_reads: int
+    tuples_processed: int
+    rows_returned: int
+    used_indexes: str
+    monitor_time_s: float
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.estimated_io + self.estimated_cpu
+
+    @property
+    def actual_cost(self) -> float:
+        return self.actual_io + self.actual_cpu
+
+
+@dataclass(frozen=True)
+class ReferenceRecord:
+    """Statement -> database object usage (figure 3's ``References``)."""
+
+    text_hash: int
+    object_type: str  # "table" | "attribute" | "index"
+    object_name: str
+    table_name: str
+    frequency: int
+
+    def bumped(self) -> "ReferenceRecord":
+        return replace(self, frequency=self.frequency + 1)
+
+
+@dataclass(frozen=True)
+class TableUsageRecord:
+    """Aggregated per-table usage (figure 3's ``Tables``)."""
+
+    table_name: str
+    frequency: int
+
+    def bumped(self) -> "TableUsageRecord":
+        return replace(self, frequency=self.frequency + 1)
+
+
+@dataclass(frozen=True)
+class AttributeUsageRecord:
+    """Aggregated per-attribute usage (figure 3's ``Attributes``)."""
+
+    table_name: str
+    attribute_name: str
+    frequency: int
+
+    def bumped(self) -> "AttributeUsageRecord":
+        return replace(self, frequency=self.frequency + 1)
+
+
+@dataclass(frozen=True)
+class IndexUsageRecord:
+    """Aggregated per-index usage (figure 3's ``Indexes``)."""
+
+    index_name: str
+    table_name: str
+    frequency: int
+
+    def bumped(self) -> "IndexUsageRecord":
+        return replace(self, frequency=self.frequency + 1)
+
+
+@dataclass(frozen=True)
+class PlanRecord:
+    """Captured optimizer plan for an expensive statement."""
+
+    text_hash: int
+    estimated_cost: float
+    plan_text: str
+    captured_at: float
+
+
+STATISTIC_FIELDS = (
+    "current_sessions", "peak_sessions", "locks_held", "lock_waiters",
+    "lock_requests", "lock_waits", "deadlocks", "lock_timeouts",
+    "cache_hits", "cache_misses", "physical_reads", "physical_writes",
+)
+
+
+@dataclass(frozen=True)
+class StatisticsRecord:
+    """One sample of system-wide statistics (figure 3's ``Statistics``)."""
+
+    timestamp: float
+    current_sessions: int = 0
+    peak_sessions: int = 0
+    locks_held: int = 0
+    lock_waiters: int = 0
+    lock_requests: int = 0
+    lock_waits: int = 0
+    deadlocks: int = 0
+    lock_timeouts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    def as_row(self) -> tuple:
+        return (self.timestamp,) + tuple(
+            getattr(self, name) for name in STATISTIC_FIELDS
+        )

@@ -1,0 +1,156 @@
+"""Bounded in-memory buffers for monitor data.
+
+All monitor structures are ring buffers holding a *moving window* of
+data with a configurable size (the paper's default: 1000 distinct
+statements), so the monitoring's memory footprint is fixed no matter
+how long the DBMS runs.
+
+Two flavors:
+
+* :class:`RingBuffer` — append-only window of records; each append gets
+  a global sequence number so the storage daemon can fetch "everything
+  newer than what I already persisted".
+* :class:`KeyedRingBuffer` — an LRU-bounded map (statements keyed by
+  text hash, object-usage records keyed by name); updates refresh the
+  entry's recency and its ``updated_seq``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+class RingBuffer(Generic[T]):
+    """Fixed-capacity append-only window with sequence numbers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._items: list[tuple[int, T]] = []
+        self._start = 0  # physical index of the oldest element
+        self._next_seq = 1
+        self._dropped = 0
+
+    def append(self, item: T) -> int:
+        """Add ``item``; returns its sequence number.  Overwrites the
+        oldest entry once full."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            if len(self._items) < self.capacity:
+                self._items.append((seq, item))
+            else:
+                self._items[self._start] = (seq, item)
+                self._start = (self._start + 1) % self.capacity
+                self._dropped += 1
+            return seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def total_appended(self) -> int:
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def dropped(self) -> int:
+        """How many records fell out of the window before being read."""
+        with self._lock:
+            return self._dropped
+
+    def snapshot(self, min_seq: int = 0) -> list[tuple[int, T]]:
+        """(seq, item) pairs with seq > ``min_seq``, oldest first."""
+        with self._lock:
+            n = len(self._items)
+            ordered = [
+                self._items[(self._start + i) % n] for i in range(n)
+            ] if n else []
+        return [(seq, item) for seq, item in ordered if seq > min_seq]
+
+    def values(self) -> list[T]:
+        return [item for _seq, item in self.snapshot()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()
+            self._start = 0
+
+
+class KeyedRingBuffer(Generic[K, T]):
+    """LRU-bounded map with per-entry update sequence numbers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._items: OrderedDict[K, tuple[int, T]] = OrderedDict()
+        self._next_seq = 1
+        self._evicted = 0
+
+    def get(self, key: K) -> T | None:
+        with self._lock:
+            entry = self._items.get(key)
+            return entry[1] if entry is not None else None
+
+    def upsert(self, key: K, create: Callable[[], T],
+               update: Callable[[T], T] | None = None) -> T:
+        """Insert or update the entry for ``key``.
+
+        ``create`` builds a new record; ``update`` (optional) maps the
+        existing record to its refreshed version.  Either way the entry
+        becomes most-recently-used and gets a fresh ``updated_seq``.
+        """
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            entry = self._items.get(key)
+            if entry is None:
+                while len(self._items) >= self.capacity:
+                    self._items.popitem(last=False)
+                    self._evicted += 1
+                value = create()
+            else:
+                value = update(entry[1]) if update is not None else entry[1]
+            self._items[key] = (seq, value)
+            self._items.move_to_end(key)
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._items
+
+    @property
+    def evicted(self) -> int:
+        with self._lock:
+            return self._evicted
+
+    def snapshot(self, min_seq: int = 0) -> list[tuple[int, T]]:
+        """(updated_seq, value) pairs with seq > ``min_seq``, in LRU order."""
+        with self._lock:
+            entries = list(self._items.values())
+        return [(seq, value) for seq, value in entries if seq > min_seq]
+
+    def values(self) -> list[T]:
+        return [value for _seq, value in self.snapshot()]
+
+    def keys(self) -> Iterator[K]:
+        with self._lock:
+            return iter(list(self._items.keys()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._items.clear()

@@ -1,0 +1,102 @@
+"""The sensor interface: monitoring call sites inside the engine core.
+
+Figure 2 of the paper places local sensors along the path a statement
+takes through the DBMS: wallclock start, query text at the parser,
+tables/attributes/available indexes at the optimizer's catalog access,
+estimated costs and chosen indexes after optimization, actual costs
+after execution, wallclock stop.
+
+The engine's session pipeline calls these methods unconditionally; the
+"Original" (monitoring-free) build simply plugs in :class:`NullSensors`,
+whose methods do nothing.  This slightly *overstates* the original
+build's cost (the call dispatch remains), making measured monitoring
+overheads conservative.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+
+def statement_hash(text: str) -> int:
+    """Stable 64-bit hash of a statement text (the monitor's key)."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(),
+        "big",
+        signed=True,  # fits the storage engine's signed 64-bit INT
+    )
+
+
+@dataclass
+class StatementContext:
+    """Per-statement scratchpad threaded through the sensor calls."""
+
+    text: str
+    text_hash: int
+    started_monotonic: float = 0.0
+    monitor_time_s: float = 0.0
+    """Time spent inside monitoring code for this statement (figure 5)."""
+    statement_kind: str = ""
+    session_id: int = 0
+    # Scratch fields filled by earlier sensors, consumed at execute_complete.
+    estimated_io: float = 0.0
+    estimated_cpu: float = 0.0
+    optimize_time_s: float = 0.0
+    used_indexes: tuple[str, ...] = ()
+
+
+class Sensors:
+    """Interface of the in-core sensors; all methods must be cheap."""
+
+    def statement_start(self, text: str,
+                        session_id: int = 0) -> StatementContext | None:
+        """Wallclock start + query text capture."""
+        return None
+
+    def parse_complete(self, ctx: StatementContext | None, kind: str,
+                       table_names: Sequence[str]) -> None:
+        """Called when the parser has resolved the statement's tables."""
+
+    def optimize_complete(self, ctx: StatementContext | None,
+                          estimated_io: float, estimated_cpu: float,
+                          used_indexes: Sequence[str],
+                          available_indexes: Sequence[str],
+                          referenced_columns: Sequence[tuple[str, str]],
+                          optimize_time_s: float,
+                          plan_supplier: "Callable[[], str] | None" = None,
+                          ) -> None:
+        """Called with the optimizer's cost estimates and index choices.
+
+        ``plan_supplier`` lazily renders the plan text; the monitor only
+        invokes it for statements expensive enough to capture."""
+
+    def execute_complete(self, ctx: StatementContext | None,
+                         actual_io: float, actual_cpu: float,
+                         logical_reads: int, physical_reads: int,
+                         tuples_processed: int, rows_returned: int,
+                         execute_time_s: float,
+                         wallclock_s: float) -> None:
+        """Called after execution with actual costs and wallclock stop."""
+
+    def statement_error(self, ctx: StatementContext | None,
+                        error: str) -> None:
+        """Called when a statement fails anywhere in the pipeline."""
+
+    def sample_statistics(self, supplier: "Callable[[], Mapping[str, Any]]",
+                          ) -> None:
+        """Record a sample of system-wide statistics (sessions, locks,
+        cache usage, ...).
+
+        ``supplier`` is only invoked if a sample will actually be taken,
+        so the monitoring-free build never pays for gathering the values.
+        """
+
+
+class NullSensors(Sensors):
+    """The monitoring-free build: every sensor is a no-op.
+
+    Inherits the base class' empty methods; exists as a named type so
+    experiment setups read explicitly (``sensors=NullSensors()``).
+    """

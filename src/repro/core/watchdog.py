@@ -1,0 +1,93 @@
+"""Baseline: an external watchdog monitor.
+
+The approach the paper argues *against*: a watchdog sitting on top of
+the DBMS, polling its state from outside over SQL instead of sensing
+inside the core.  It can observe catalogs and aggregate statistics, but
+it cannot see individual statements — between two polls it only learns
+*that* activity happened, not *what* ran, and every poll is real query
+load on the server.
+
+The ablation benchmark compares this against the integrated monitor on
+two axes: achieved data resolution (distinct statements captured) and
+overhead added to the foreground workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import EngineInstance
+    from repro.engine.session import Session
+
+
+@dataclass(frozen=True)
+class WatchdogSample:
+    """What one watchdog poll can see."""
+
+    timestamp: float
+    statistics: dict
+    table_geometry: dict[str, tuple[int, int, int]]
+    """table -> (row_count, data_pages, overflow_pages)."""
+
+
+@dataclass
+class WatchdogReport:
+    """Accumulated watchdog observations."""
+
+    samples: list[WatchdogSample] = field(default_factory=list)
+    queries_issued: int = 0
+
+    @property
+    def statements_captured(self) -> int:
+        """Distinct foreground statements observed: always zero — the
+        watchdog has no access to statement texts."""
+        return 0
+
+
+class WatchdogMonitor:
+    """Polls a database from outside over ordinary SQL."""
+
+    def __init__(self, engine: "EngineInstance", database_name: str,
+                 sample_tables: tuple[str, ...] = ()) -> None:
+        self.engine = engine
+        self.database_name = database_name
+        self.sample_tables = sample_tables
+        self.report = WatchdogReport()
+        self._session: "Session | None" = None
+
+    def _ensure_session(self) -> "Session":
+        if self._session is None or self._session.closed:
+            self._session = self.engine.connect(self.database_name)
+        return self._session
+
+    def poll_once(self) -> WatchdogSample:
+        """One poll: system statistics plus per-table geometry probes.
+
+        The geometry probes are real queries (``SELECT COUNT(*)``),
+        which is exactly why a watchdog loads the system it watches.
+        """
+        session = self._ensure_session()
+        database = self.engine.database(self.database_name)
+        geometry: dict[str, tuple[int, int, int]] = {}
+        for table in self.sample_tables:
+            result = session.execute(f"select count(*) from {table}")
+            self.report.queries_issued += 1
+            storage = database.storage_for(table)
+            geometry[table] = (
+                result.scalar(), storage.page_count,
+                storage.overflow_page_count,
+            )
+        sample = WatchdogSample(
+            timestamp=self.engine.clock.now(),
+            statistics=dict(self.engine.system_statistics()),
+            table_geometry=geometry,
+        )
+        self.report.samples.append(sample)
+        return sample
+
+    def close(self) -> None:
+        if self._session is not None:
+            self._session.close()
+            self._session = None

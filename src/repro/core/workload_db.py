@@ -1,0 +1,173 @@
+"""The persistent workload database.
+
+A native database (with its own disk and buffer pool, like an ordinary
+user database in Ingres) holding timestamped history of everything the
+monitor collects.  The storage daemon appends batches here; entries are
+kept for seven days by default so a typical work week can be analyzed.
+
+Because it is a regular database, the collected data is queryable with
+standard SQL and triggers on its tables provide active alerting.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.schema import Column, DataType, StorageStructure, TableSchema
+from repro.clock import Clock, SystemClock
+from repro.config import EngineConfig
+from repro.engine.database import Database
+from repro.optimizer.interfaces import estimate_row_bytes
+
+
+def _int(name: str) -> Column:
+    return Column(name, DataType.INT)
+
+
+def _float(name: str) -> Column:
+    return Column(name, DataType.FLOAT)
+
+
+def _text(name: str) -> Column:
+    return Column(name, DataType.TEXT)
+
+
+WL_STATEMENTS = TableSchema("wl_statements", (
+    _float("captured_at"), _int("text_hash"), _text("query_text"),
+    _int("frequency"), _float("first_seen"), _float("last_seen"),
+))
+
+WL_WORKLOAD = TableSchema("wl_workload", (
+    _float("captured_at"), _int("text_hash"), _int("session_id"),
+    _float("ts"), _float("optimize_time_s"), _float("execute_time_s"),
+    _float("wallclock_s"), _float("estimated_io"), _float("estimated_cpu"),
+    _float("actual_io"), _float("actual_cpu"), _int("logical_reads"),
+    _int("physical_reads"), _int("tuples_processed"), _int("rows_returned"),
+    _text("used_indexes"), _float("monitor_time_s"),
+))
+
+WL_REFERENCES = TableSchema("wl_references", (
+    _float("captured_at"), _int("text_hash"),
+    Column("object_type", DataType.VARCHAR, 16), _text("object_name"),
+    _text("table_name"), _int("frequency"),
+))
+
+WL_TABLES = TableSchema("wl_tables", (
+    _float("captured_at"), _text("table_name"), _int("frequency"),
+    Column("structure", DataType.VARCHAR, 16), _int("data_pages"),
+    _int("overflow_pages"), _int("row_count"), _int("has_statistics"),
+))
+
+WL_ATTRIBUTES = TableSchema("wl_attributes", (
+    _float("captured_at"), _text("table_name"), _text("attribute_name"),
+    _int("frequency"), _int("has_histogram"),
+))
+
+WL_INDEXES = TableSchema("wl_indexes", (
+    _float("captured_at"), _text("index_name"), _text("table_name"),
+    _int("frequency"),
+))
+
+WL_PLANS = TableSchema("wl_plans", (
+    _float("captured_at"), _int("text_hash"), _float("estimated_cost"),
+    _text("plan_text"), _float("plan_captured_at"),
+))
+
+WL_STATISTICS = TableSchema("wl_statistics", (
+    _float("captured_at"), _float("ts"), _int("current_sessions"),
+    _int("peak_sessions"), _int("locks_held"), _int("lock_waiters"),
+    _int("lock_requests"), _int("lock_waits"), _int("deadlocks"),
+    _int("lock_timeouts"), _int("cache_hits"), _int("cache_misses"),
+    _int("physical_reads"), _int("physical_writes"),
+))
+
+WORKLOAD_TABLES = (
+    WL_STATEMENTS, WL_WORKLOAD, WL_REFERENCES, WL_TABLES, WL_ATTRIBUTES,
+    WL_INDEXES, WL_PLANS, WL_STATISTICS,
+)
+
+# IMA table each workload table is fed from (dropping the seq column).
+TABLE_SOURCES = {
+    "wl_statements": "ima_statements",
+    "wl_workload": "ima_workload",
+    "wl_references": "ima_references",
+    "wl_tables": "ima_tables",
+    "wl_attributes": "ima_attributes",
+    "wl_indexes": "ima_indexes",
+    "wl_plans": "ima_plans",
+    "wl_statistics": "ima_statistics",
+}
+
+
+class WorkloadDatabase:
+    """Owns the workload database and its append/retention operations."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 clock: Clock | None = None,
+                 name: str = "workloaddb") -> None:
+        self.config = config or EngineConfig()
+        self.clock = clock or SystemClock()
+        self.database = Database(name, self.config, self.clock)
+        for schema in WORKLOAD_TABLES:
+            self.database.create_table(schema)
+
+    # -- appends ------------------------------------------------------------
+
+    def append(self, table_name: str, rows: list[tuple],
+               captured_at: float) -> int:
+        """Append snapshot ``rows`` (without their seq column) stamped
+        with ``captured_at``; returns the number of rows written."""
+        for row in rows:
+            self.database.insert_row(table_name, (captured_at,) + row)
+        return len(rows)
+
+    def flush(self) -> None:
+        """Force dirty pages to the (simulated) disk."""
+        self.database.pool.flush_all()
+
+    # -- retention -------------------------------------------------------------
+
+    def purge_older_than(self, cutoff: float) -> int:
+        """Delete history captured before ``cutoff``; returns rows removed.
+
+        Purging leaves holes in the heap pages; when a table's allocated
+        pages grow well past what its live rows need, the table is
+        compacted with a MODIFY rebuild — the maintenance that keeps the
+        workload DB at its steady-state size (the paper's ~4.7 GB cap).
+        """
+        removed = 0
+        for schema in WORKLOAD_TABLES:
+            storage = self.database.storage_for(schema.name)
+            victims = [rowid for rowid, row in storage.scan()
+                       if row[0] < cutoff]
+            for rowid in victims:
+                self.database.delete_row(schema.name, rowid)
+            removed += len(victims)
+            if victims:
+                self._maybe_compact(schema.name)
+        return removed
+
+    def _maybe_compact(self, table_name: str) -> None:
+        storage = self.database.storage_for(table_name)
+        page_size = self.database.disk.page_size
+        expected_pages = math.ceil(
+            storage.row_count
+            * estimate_row_bytes(storage.schema) / page_size) + 1
+        if storage.page_count > 1.5 * expected_pages + 4:
+            self.database.modify_table(
+                table_name, StorageStructure.HEAP,
+                main_pages=max(8, expected_pages * 2))
+
+    # -- introspection ------------------------------------------------------------
+
+    def row_count(self, table_name: str) -> int:
+        return self.database.storage_for(table_name).row_count
+
+    def total_rows(self) -> int:
+        return sum(self.row_count(s.name) for s in WORKLOAD_TABLES)
+
+    @property
+    def total_bytes(self) -> int:
+        """On-disk footprint of the workload DB (the paper's ~28 MB/hour
+        growth, capped by seven-day retention)."""
+        return self.database.total_bytes

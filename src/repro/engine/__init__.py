@@ -1,0 +1,16 @@
+"""The DBMS shell: databases, sessions, locking and transactions.
+
+This package plays the role Ingres plays in the paper: the host system
+whose parse → optimize → execute pipeline carries the integrated
+monitoring sensors.  An :class:`~repro.engine.engine.EngineInstance` is
+"one Ingres installation"; the three experimental setups (Original /
+Monitoring / Daemon) differ only in which sensor object is plugged in
+and whether a storage daemon is attached.
+"""
+
+from repro.engine.engine import EngineInstance
+from repro.engine.database import Database
+from repro.engine.session import Session
+from repro.engine.locks import LockManager, LockMode
+
+__all__ = ["EngineInstance", "Database", "Session", "LockManager", "LockMode"]

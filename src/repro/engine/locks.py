@@ -1,0 +1,196 @@
+"""Table-level lock manager with waits-for deadlock detection.
+
+The lock system is both a correctness substrate (serializing writers)
+and a *monitored subsystem*: its counters (locks in use, lock waits,
+deadlocks) feed the system-wide statistics channel that figure 8 of the
+paper visualizes.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+from repro.config import LockConfig
+from repro.errors import DeadlockError, LockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _Resource:
+    """Lock state of one table."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class LockStatistics:
+    """Snapshot of lock-system counters for the monitor."""
+
+    locks_held: int
+    transactions_waiting: int
+    total_requests: int
+    total_waits: int
+    total_deadlocks: int
+    total_timeouts: int
+
+
+class LockManager:
+    """Grants S/X table locks to transactions; detects deadlocks."""
+
+    def __init__(self, config: LockConfig | None = None) -> None:
+        self.config = config or LockConfig()
+        self._mutex = threading.Lock()
+        self._granted = threading.Condition(self._mutex)
+        self._resources: dict[str, _Resource] = {}
+        self._held_by_txn: dict[int, set[str]] = {}
+        self._total_requests = 0
+        self._total_waits = 0
+        self._total_deadlocks = 0
+        self._total_timeouts = 0
+
+    # -- public API --------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: str, mode: LockMode,
+                timeout_s: float | None = None) -> None:
+        """Block until the lock is granted.
+
+        Raises :class:`DeadlockError` if this request closes a cycle in
+        the waits-for graph (the requester is the victim) and
+        :class:`LockTimeoutError` after ``timeout_s`` seconds.
+        """
+        deadline = timeout_s if timeout_s is not None \
+            else self.config.wait_timeout_s
+        with self._granted:
+            self._total_requests += 1
+            state = self._resources.setdefault(resource, _Resource())
+            if self._try_grant(state, txn_id, mode):
+                self._held_by_txn.setdefault(txn_id, set()).add(resource)
+                return
+            self._total_waits += 1
+            state.waiters.append((txn_id, mode))
+            waited = 0.0
+            try:
+                while True:
+                    if self._creates_deadlock(txn_id):
+                        self._total_deadlocks += 1
+                        raise DeadlockError(
+                            f"transaction {txn_id} deadlocked waiting for "
+                            f"{mode.value} lock on {resource!r}"
+                        )
+                    if self._try_grant(state, txn_id, mode):
+                        self._held_by_txn.setdefault(txn_id,
+                                                     set()).add(resource)
+                        return
+                    if waited >= deadline:
+                        self._total_timeouts += 1
+                        raise LockTimeoutError(
+                            f"transaction {txn_id} timed out after "
+                            f"{waited:.1f}s waiting for {mode.value} lock "
+                            f"on {resource!r}"
+                        )
+                    interval = self.config.deadlock_check_interval_s
+                    self._granted.wait(interval)
+                    waited += interval
+            finally:
+                state.waiters.remove((txn_id, mode))
+
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock held by ``txn_id``; returns how many."""
+        with self._granted:
+            resources = self._held_by_txn.pop(txn_id, set())
+            for name in resources:
+                state = self._resources.get(name)
+                if state is not None:
+                    state.holders.pop(txn_id, None)
+                    if not state.holders and not state.waiters:
+                        del self._resources[name]
+            self._granted.notify_all()
+            return len(resources)
+
+    def holds(self, txn_id: int, resource: str,
+              mode: LockMode | None = None) -> bool:
+        with self._mutex:
+            state = self._resources.get(resource)
+            if state is None or txn_id not in state.holders:
+                return False
+            return mode is None or state.holders[txn_id] is mode
+
+    def statistics(self) -> LockStatistics:
+        with self._mutex:
+            held = sum(len(s.holders) for s in self._resources.values())
+            waiting = sum(len(s.waiters) for s in self._resources.values())
+            return LockStatistics(
+                locks_held=held,
+                transactions_waiting=waiting,
+                total_requests=self._total_requests,
+                total_waits=self._total_waits,
+                total_deadlocks=self._total_deadlocks,
+                total_timeouts=self._total_timeouts,
+            )
+
+    # -- internals -----------------------------------------------------------
+
+    def _try_grant(self, state: _Resource, txn_id: int,
+                   mode: LockMode) -> bool:
+        held = state.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE or held is mode:
+            return True  # re-entrant
+        others = {t: m for t, m in state.holders.items() if t != txn_id}
+        if mode is LockMode.SHARED:
+            compatible = all(m is LockMode.SHARED for m in others.values())
+        else:
+            compatible = not others
+        if compatible:
+            state.holders[txn_id] = mode
+            return True
+        return False
+
+    def _creates_deadlock(self, start_txn: int) -> bool:
+        """Cycle check over the waits-for graph starting at ``start_txn``."""
+        edges: dict[int, set[int]] = {}
+        for state in self._resources.values():
+            holders = set(state.holders)
+            for waiter, mode in state.waiters:
+                blockers = holders - {waiter}
+                if mode is LockMode.SHARED:
+                    blockers = {
+                        t for t in blockers
+                        if state.holders[t] is LockMode.EXCLUSIVE
+                    }
+                if blockers:
+                    edges.setdefault(waiter, set()).update(blockers)
+        visited: set[int] = set()
+        stack = list(edges.get(start_txn, ()))
+        while stack:
+            node = stack.pop()
+            if node == start_txn:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+
+class LockGuard:
+    """Context manager releasing a transaction's locks on exit."""
+
+    def __init__(self, manager: LockManager, txn_id: int) -> None:
+        self._manager = manager
+        self._txn_id = txn_id
+
+    def acquire(self, resource: str, mode: LockMode) -> None:
+        self._manager.acquire(self._txn_id, resource, mode)
+
+    def __enter__(self) -> "LockGuard":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._manager.release_all(self._txn_id)

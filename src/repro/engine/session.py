@@ -1,0 +1,635 @@
+"""Sessions: the statement pipeline with integrated sensor call sites.
+
+A session runs ``parse -> optimize -> execute`` for queries, or the
+corresponding DML/DDL handlers, acquiring table locks along the way.
+The monitoring sensors are invoked exactly where figure 2 of the paper
+places them; with :class:`~repro.core.sensors.NullSensors` plugged in,
+the calls dispatch to empty methods.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    IndexDef,
+    StorageStructure,
+    TableSchema,
+)
+from repro.errors import ExecutionError, ReproError, SqlError
+from repro.execution.evaluator import compile_expression, compile_predicate
+from repro.execution.executor import ExecutionMetrics, Executor, QueryResult
+from repro.engine.locks import LockMode
+from repro.engine.transactions import Transaction
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.predicates import BindingResolver
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+    from repro.engine.engine import EngineInstance
+
+
+@dataclass
+class DmlResult:
+    """Result of a non-SELECT statement."""
+
+    kind: str
+    rowcount: int = 0
+    detail: str = ""
+
+
+_TYPE_MAP = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "bigint": DataType.INT,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "varchar": DataType.VARCHAR,
+    "text": DataType.TEXT,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+}
+
+_STRUCTURES = {
+    "heap": StorageStructure.HEAP,
+    "btree": StorageStructure.BTREE,
+    "hash": StorageStructure.HASH,
+}
+
+
+class Session:
+    """One connection to a database of an engine instance."""
+
+    def __init__(self, engine: "EngineInstance", database: "Database",
+                 session_id: int) -> None:
+        self.engine = engine
+        self.database = database
+        self.session_id = session_id
+        self.optimizer = Optimizer(database, engine.config)
+        self.executor = Executor(database, database.pool, database.disk)
+        self._explicit_txn: Transaction | None = None
+        self.closed = False
+        # Plan cache: statement text -> (schema version, AST, plan).
+        # This is the engine-side caching that makes repeated trivial
+        # statements cheap (the effect the paper's 1m test exposes).
+        self._plan_cache: "OrderedDict[str, tuple[int, ast.SelectStatement, Any]]" = \
+            OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._explicit_txn is not None and self._explicit_txn.is_active:
+            self.rollback()
+        if not self.closed:
+            self.closed = True
+            self.engine.on_session_closed(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- transaction plumbing ----------------------------------------------------
+
+    def begin(self) -> None:
+        if self._explicit_txn is not None and self._explicit_txn.is_active:
+            raise ReproError("a transaction is already active")
+        self._explicit_txn = Transaction()
+
+    def commit(self) -> None:
+        if self._explicit_txn is None or not self._explicit_txn.is_active:
+            raise ReproError("no active transaction")
+        self._explicit_txn.commit()
+        self.engine.lock_manager.release_all(self._explicit_txn.txn_id)
+        self._explicit_txn = None
+
+    def rollback(self) -> None:
+        if self._explicit_txn is None or not self._explicit_txn.is_active:
+            raise ReproError("no active transaction")
+        self._explicit_txn.rollback()
+        self.engine.lock_manager.release_all(self._explicit_txn.txn_id)
+        self._explicit_txn = None
+
+    def _current_txn(self) -> tuple[Transaction, bool]:
+        """Return (transaction, is_autocommit)."""
+        if self._explicit_txn is not None and self._explicit_txn.is_active:
+            return self._explicit_txn, False
+        return Transaction(), True
+
+    # -- the statement pipeline -----------------------------------------------------
+
+    def execute(self, text: str) -> QueryResult | DmlResult:
+        """Run one SQL statement through the monitored pipeline."""
+        sensors = self.engine.sensors
+        clock = self.engine.clock
+        started = clock.monotonic()
+        ctx = sensors.statement_start(text, self.session_id)
+        try:
+            cached = self._cached_plan(text)
+            if cached is not None:
+                statement, optimized = cached
+                sensors.parse_complete(ctx, "select",
+                                       _statement_tables(statement))
+                result = self._execute_select(statement, ctx,
+                                              cached_plan=optimized)
+            else:
+                statement = parse_statement(text)
+                kind = type(statement).__name__.removesuffix(
+                    "Statement").lower()
+                sensors.parse_complete(ctx, kind,
+                                       _statement_tables(statement))
+                result = self._dispatch(statement, ctx, text)
+        except ReproError as error:
+            sensors.statement_error(ctx, str(error))
+            raise
+        wallclock = clock.monotonic() - started
+        self._finish(ctx, result, wallclock)
+        return result
+
+    def explain(self, text: str) -> str:
+        """Return the optimizer's plan for a SELECT without running it."""
+        statement = parse_statement(text)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ExecutionError("EXPLAIN supports only SELECT statements")
+        return self.optimizer.optimize_select(statement).explain()
+
+    def _finish(self, ctx: Any, result: QueryResult | DmlResult,
+                wallclock: float) -> None:
+        sensors = self.engine.sensors
+        if isinstance(result, QueryResult):
+            metrics = result.metrics
+        else:
+            metrics = ExecutionMetrics()
+        cost_model = self.optimizer.cost_model
+        actual = cost_model.actual_cost(metrics.logical_reads,
+                                        metrics.tuples_processed)
+        sensors.execute_complete(
+            ctx,
+            actual_io=actual.io,
+            actual_cpu=actual.cpu,
+            logical_reads=metrics.logical_reads,
+            physical_reads=metrics.physical_reads,
+            tuples_processed=metrics.tuples_processed,
+            rows_returned=metrics.rows_returned,
+            execute_time_s=wallclock,
+            wallclock_s=wallclock,
+        )
+        sensors.sample_statistics(self.engine.system_statistics)
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    # -- plan cache -----------------------------------------------------------
+
+    def _cached_plan(self, text: str):
+        """Return (statement, optimization) for a cached, still-valid
+        SELECT plan, or None."""
+        if self.engine.config.plan_cache_size <= 0:
+            return None
+        entry = self._plan_cache.get(text)
+        if entry is None:
+            return None
+        version, statement, optimized = entry
+        if version != self.database.schema_version:
+            del self._plan_cache[text]
+            return None
+        self._plan_cache.move_to_end(text)
+        self.plan_cache_hits += 1
+        return statement, optimized
+
+    def _store_plan(self, text: str | None, statement: ast.SelectStatement,
+                    optimized: Any) -> None:
+        capacity = self.engine.config.plan_cache_size
+        if capacity <= 0 or text is None:
+            return
+        self.plan_cache_misses += 1
+        self._plan_cache[text] = (self.database.schema_version, statement,
+                                  optimized)
+        self._plan_cache.move_to_end(text)
+        while len(self._plan_cache) > capacity:
+            self._plan_cache.popitem(last=False)
+
+    def _dispatch(self, statement: ast.Statement, ctx: Any,
+                  text: str | None = None) -> QueryResult | DmlResult:
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(statement, ctx, text=text)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self.database.drop_table(statement.table_name)
+            return DmlResult("drop table", detail=statement.table_name)
+        if isinstance(statement, ast.CreateIndexStatement):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropIndexStatement):
+            self.database.drop_index(statement.index_name)
+            return DmlResult("drop index", detail=statement.index_name)
+        if isinstance(statement, ast.ModifyStatement):
+            return self._execute_modify(statement)
+        if isinstance(statement, ast.CreateStatisticsStatement):
+            stats = self.database.collect_statistics(
+                statement.table_name, statement.columns)
+            return DmlResult("create statistics", rowcount=stats.row_count,
+                             detail=statement.table_name)
+        if isinstance(statement, ast.CreateTriggerStatement):
+            schema = self.database.catalog.table(statement.table_name).schema
+            self.database.triggers.create(
+                statement.trigger_name, schema, statement.condition,
+                statement.message)
+            return DmlResult("create trigger", detail=statement.trigger_name)
+        if isinstance(statement, ast.DropTriggerStatement):
+            self.database.triggers.drop(statement.trigger_name)
+            return DmlResult("drop trigger", detail=statement.trigger_name)
+        if isinstance(statement, ast.ExplainStatement):
+            optimized = self.optimizer.optimize_select(statement.statement)
+            lines = optimized.explain().splitlines()
+            from repro.execution.executor import ExecutionMetrics
+            return QueryResult(columns=("plan",),
+                               rows=[(line,) for line in lines],
+                               metrics=ExecutionMetrics())
+        if isinstance(statement, ast.BeginStatement):
+            self.begin()
+            return DmlResult("begin")
+        if isinstance(statement, ast.CommitStatement):
+            self.commit()
+            return DmlResult("commit")
+        if isinstance(statement, ast.RollbackStatement):
+            self.rollback()
+            return DmlResult("rollback")
+        raise ExecutionError(f"unsupported statement {statement!r}")
+
+    # -- SELECT -----------------------------------------------------------------------
+
+    def _execute_select(self, statement: ast.SelectStatement, ctx: Any,
+                        text: str | None = None,
+                        cached_plan: Any = None) -> QueryResult:
+        clock = self.engine.clock
+        sensors = self.engine.sensors
+        txn, autocommit = self._current_txn()
+        try:
+            if cached_plan is None and _has_subqueries(statement):
+                statement = self._materialize_subqueries(statement, txn)
+                text = None  # data-dependent: never plan-cache
+            for table_name in _statement_tables(statement):
+                if not self.database.is_virtual_table(table_name):
+                    self.engine.lock_manager.acquire(
+                        txn.txn_id, table_name.lower(), LockMode.SHARED)
+            if cached_plan is not None:
+                optimized = cached_plan
+                optimize_time = 0.0
+            else:
+                optimize_started = clock.monotonic()
+                optimized = self.optimizer.optimize_select(statement)
+                optimize_time = clock.monotonic() - optimize_started
+                self._store_plan(text, statement, optimized)
+            sensors.optimize_complete(
+                ctx,
+                estimated_io=optimized.estimated_cost.io,
+                estimated_cpu=optimized.estimated_cost.cpu,
+                used_indexes=optimized.used_indexes,
+                available_indexes=optimized.available_indexes,
+                referenced_columns=optimized.referenced_columns,
+                optimize_time_s=optimize_time,
+                plan_supplier=optimized.explain,
+            )
+            return self.executor.execute(optimized.plan,
+                                         optimized.output_names)
+        finally:
+            if autocommit:
+                self.engine.lock_manager.release_all(txn.txn_id)
+
+    # -- subqueries ---------------------------------------------------------------------
+
+    def _materialize_subqueries(self, statement: ast.SelectStatement,
+                                txn: Transaction) -> ast.SelectStatement:
+        """Evaluate every (uncorrelated) subquery and splice the results
+        in as literals; correlated references raise OptimizerError."""
+
+        def rewrite(expr: ast.Expression | None) -> ast.Expression | None:
+            return self._rewrite_subquery_expression(expr, txn)
+
+        return ast.SelectStatement(
+            select_items=tuple(
+                ast.SelectItem(rewrite(i.expression), i.alias)
+                for i in statement.select_items),
+            from_table=statement.from_table,
+            joins=tuple(
+                ast.Join(j.right, rewrite(j.condition), j.kind)
+                for j in statement.joins),
+            where=rewrite(statement.where),
+            group_by=tuple(rewrite(e) for e in statement.group_by),
+            having=rewrite(statement.having),
+            order_by=tuple(
+                ast.OrderItem(rewrite(o.expression), o.descending)
+                for o in statement.order_by),
+            limit=statement.limit,
+            offset=statement.offset,
+            distinct=statement.distinct,
+        )
+
+    def _rewrite_subquery_expression(self, expr: ast.Expression | None,
+                                     txn: Transaction,
+                                     ) -> ast.Expression | None:
+        """Replace subqueries with their evaluated results.
+
+        Explicit recursion (not :func:`ast.transform_expression`) because
+        a Subquery directly under IN must expand to a *list*, which only
+        the IN handler can do — a bottom-up visitor would consume it as
+        a scalar first.
+        """
+        if expr is None:
+            return None
+        rewrite = lambda e: self._rewrite_subquery_expression(e, txn)  # noqa: E731
+        if isinstance(expr, ast.Subquery):
+            return self._scalar_subquery(expr, txn)
+        if isinstance(expr, ast.InList):
+            items: list[ast.Expression] = []
+            for item in expr.items:
+                if isinstance(item, ast.Subquery):
+                    items.extend(self._list_subquery(item, txn))
+                else:
+                    items.append(rewrite(item))
+            if not items:  # IN against an empty result matches nothing
+                return (ast.Literal(True) if expr.negated
+                        else ast.Literal(False))
+            return ast.InList(rewrite(expr.operand), tuple(items),
+                              expr.negated)
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, rewrite(expr.operand))
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(expr.op, rewrite(expr.left),
+                                rewrite(expr.right))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(rewrite(expr.operand), expr.negated)
+        if isinstance(expr, ast.Between):
+            return ast.Between(rewrite(expr.operand), rewrite(expr.low),
+                               rewrite(expr.high), expr.negated)
+        if isinstance(expr, ast.FunctionCall):
+            return ast.FunctionCall(
+                expr.name, tuple(rewrite(a) for a in expr.args),
+                expr.distinct)
+        return expr
+
+    def _run_subquery(self, subquery: ast.Subquery,
+                      txn: Transaction) -> QueryResult:
+        inner = subquery.statement
+        if _has_subqueries(inner):
+            inner = self._materialize_subqueries(inner, txn)
+        for table_name in _statement_tables(inner):
+            if not self.database.is_virtual_table(table_name):
+                self.engine.lock_manager.acquire(
+                    txn.txn_id, table_name.lower(), LockMode.SHARED)
+        optimized = self.optimizer.optimize_select(inner)
+        return self.executor.execute(optimized.plan, optimized.output_names)
+
+    def _scalar_subquery(self, subquery: ast.Subquery,
+                         txn: Transaction) -> ast.Literal:
+        result = self._run_subquery(subquery, txn)
+        if len(result.columns) != 1:
+            raise ExecutionError(
+                f"scalar subquery must return one column, got "
+                f"{len(result.columns)}")
+        if len(result.rows) > 1:
+            raise ExecutionError(
+                f"scalar subquery returned {len(result.rows)} rows")
+        value = result.rows[0][0] if result.rows else None
+        return ast.Literal(value)
+
+    def _list_subquery(self, subquery: ast.Subquery,
+                       txn: Transaction) -> list[ast.Literal]:
+        result = self._run_subquery(subquery, txn)
+        if len(result.columns) != 1:
+            raise ExecutionError(
+                f"IN subquery must return one column, got "
+                f"{len(result.columns)}")
+        return [ast.Literal(row[0]) for row in result.rows]
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def _execute_insert(self, statement: ast.InsertStatement) -> DmlResult:
+        entry = self.database.catalog.table(statement.table_name)
+        schema = entry.schema
+        txn, autocommit = self._current_txn()
+        try:
+            self.engine.lock_manager.acquire(
+                txn.txn_id, statement.table_name.lower(), LockMode.EXCLUSIVE)
+            if statement.columns:
+                positions = [schema.column_index(c)
+                             for c in statement.columns]
+            else:
+                positions = list(range(len(schema.columns)))
+            inserted = 0
+            for value_row in statement.rows:
+                if len(value_row) != len(positions):
+                    raise ExecutionError(
+                        f"INSERT expects {len(positions)} values, "
+                        f"got {len(value_row)}"
+                    )
+                row: list[Any] = [None] * len(schema.columns)
+                for position, expr in zip(positions, value_row):
+                    row[position] = compile_expression(expr, ())(())
+                rowid = self.database.insert_row(statement.table_name,
+                                                 tuple(row))
+                table_name = statement.table_name
+                txn.record_undo(
+                    lambda t=table_name, r=rowid:
+                    self.database.undo_insert(t, r))
+                inserted += 1
+            if autocommit:
+                txn.commit()
+            return DmlResult("insert", rowcount=inserted)
+        except ReproError:
+            if autocommit:
+                txn.rollback()
+            raise
+        finally:
+            if autocommit:
+                self.engine.lock_manager.release_all(txn.txn_id)
+
+    def _match_rows(self, table_name: str,
+                    where: ast.Expression | None) -> list[tuple[int, tuple]]:
+        """Scan a table and return (rowid, row) pairs matching ``where``."""
+        schema = self.database.catalog.table(table_name).schema
+        resolver = BindingResolver({
+            table_name.lower(): schema.column_names
+        })
+        scope = tuple((table_name.lower(), c) for c in schema.column_names)
+        predicate = compile_predicate(
+            resolver.qualify(where) if where is not None else None, scope)
+        storage = self.database.storage_for(table_name)
+        return [(rowid, row) for rowid, row in storage.scan()
+                if predicate(row)]
+
+    def _execute_update(self, statement: ast.UpdateStatement) -> DmlResult:
+        entry = self.database.catalog.table(statement.table_name)
+        schema = entry.schema
+        txn, autocommit = self._current_txn()
+        try:
+            self.engine.lock_manager.acquire(
+                txn.txn_id, statement.table_name.lower(), LockMode.EXCLUSIVE)
+            resolver = BindingResolver({
+                statement.table_name.lower(): schema.column_names
+            })
+            scope = tuple((statement.table_name.lower(), c)
+                          for c in schema.column_names)
+            assignments = [
+                (schema.column_index(column),
+                 compile_expression(resolver.qualify(expr), scope))
+                for column, expr in statement.assignments
+            ]
+            where = statement.where
+            if where is not None and ast.contains_subquery(where):
+                where = self._rewrite_subquery_expression(where, txn)
+            updated = 0
+            for rowid, row in self._match_rows(statement.table_name,
+                                               where):
+                new_row = list(row)
+                for position, getter in assignments:
+                    new_row[position] = getter(row)
+                old = self.database.update_row(statement.table_name, rowid,
+                                               tuple(new_row))
+                table_name = statement.table_name
+                txn.record_undo(
+                    lambda t=table_name, r=rowid, o=old:
+                    self.database.update_row(t, r, o))
+                updated += 1
+            if autocommit:
+                txn.commit()
+            return DmlResult("update", rowcount=updated)
+        except ReproError:
+            if autocommit:
+                txn.rollback()
+            raise
+        finally:
+            if autocommit:
+                self.engine.lock_manager.release_all(txn.txn_id)
+
+    def _execute_delete(self, statement: ast.DeleteStatement) -> DmlResult:
+        txn, autocommit = self._current_txn()
+        try:
+            self.engine.lock_manager.acquire(
+                txn.txn_id, statement.table_name.lower(), LockMode.EXCLUSIVE)
+            where = statement.where
+            if where is not None and ast.contains_subquery(where):
+                where = self._rewrite_subquery_expression(where, txn)
+            deleted = 0
+            for rowid, row in self._match_rows(statement.table_name,
+                                               where):
+                self.database.delete_row(statement.table_name, rowid)
+                table_name = statement.table_name
+                txn.record_undo(
+                    lambda t=table_name, r=rowid, o=row:
+                    self.database.undo_delete(t, r, o))
+                deleted += 1
+            if autocommit:
+                txn.commit()
+            return DmlResult("delete", rowcount=deleted)
+        except ReproError:
+            if autocommit:
+                txn.rollback()
+            raise
+        finally:
+            if autocommit:
+                self.engine.lock_manager.release_all(txn.txn_id)
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _execute_create_table(self,
+                              statement: ast.CreateTableStatement) -> DmlResult:
+        columns = []
+        for definition in statement.columns:
+            data_type = _TYPE_MAP.get(definition.type_name)
+            if data_type is None:
+                raise SqlError(f"unknown type {definition.type_name!r}")
+            nullable = definition.nullable \
+                and definition.name not in statement.primary_key
+            columns.append(Column(
+                definition.name, data_type,
+                max_length=definition.length
+                or (255 if data_type is DataType.VARCHAR else 0),
+                nullable=nullable,
+            ))
+        schema = TableSchema(statement.table_name, tuple(columns),
+                             statement.primary_key)
+        structure = StorageStructure.HEAP
+        if statement.structure is not None:
+            structure = _parse_structure(statement.structure)
+        self.database.create_table(schema, structure, statement.main_pages)
+        return DmlResult("create table", detail=statement.table_name)
+
+    def _execute_create_index(self,
+                              statement: ast.CreateIndexStatement) -> DmlResult:
+        definition = IndexDef(
+            name=statement.index_name,
+            table_name=statement.table_name,
+            column_names=statement.columns,
+            unique=statement.unique,
+            virtual=statement.virtual,
+        )
+        self.database.create_index(definition)
+        kind = "create virtual index" if statement.virtual else "create index"
+        return DmlResult(kind, detail=statement.index_name)
+
+    def _execute_modify(self, statement: ast.ModifyStatement) -> DmlResult:
+        structure = _parse_structure(statement.structure)
+        txn, autocommit = self._current_txn()
+        try:
+            self.engine.lock_manager.acquire(
+                txn.txn_id, statement.table_name.lower(), LockMode.EXCLUSIVE)
+            self.database.modify_table(statement.table_name, structure,
+                                       statement.main_pages)
+            return DmlResult("modify", detail=(
+                f"{statement.table_name} to {structure.value}"))
+        finally:
+            if autocommit:
+                self.engine.lock_manager.release_all(txn.txn_id)
+
+
+def _has_subqueries(statement: ast.SelectStatement) -> bool:
+    sources: list[ast.Expression] = [i.expression
+                                     for i in statement.select_items]
+    sources += [j.condition for j in statement.joins
+                if j.condition is not None]
+    if statement.where is not None:
+        sources.append(statement.where)
+    sources.extend(statement.group_by)
+    if statement.having is not None:
+        sources.append(statement.having)
+    sources.extend(o.expression for o in statement.order_by)
+    return any(ast.contains_subquery(source) for source in sources)
+
+
+def _parse_structure(name: str) -> StorageStructure:
+    structure = _STRUCTURES.get(name.lower())
+    if structure is None:
+        raise SqlError(f"unknown storage structure {name!r}")
+    return structure
+
+
+def _statement_tables(statement: ast.Statement) -> tuple[str, ...]:
+    """Base table names a statement touches (for locks and sensors)."""
+    if isinstance(statement, ast.SelectStatement):
+        names = []
+        if statement.from_table is not None:
+            names.append(statement.from_table.table_name)
+        names.extend(j.right.table_name for j in statement.joins)
+        return tuple(dict.fromkeys(names))
+    for attribute in ("table_name",):
+        name = getattr(statement, attribute, None)
+        if isinstance(name, str):
+            return (name,)
+    return ()

@@ -1,0 +1,10 @@
+"""Volcano-style iterator executor.
+
+Turns physical plans into iterator trees over the storage engine,
+counting logical page accesses and tuples processed so the monitor can
+record *actual* costs in the same units the optimizer estimates in.
+"""
+
+from repro.execution.executor import Executor, ExecutionMetrics, QueryResult
+
+__all__ = ["Executor", "ExecutionMetrics", "QueryResult"]

@@ -1,0 +1,16 @@
+"""Cost-based query optimizer.
+
+The optimizer estimates costs with the engine's own cost model
+(requirement ii in section IV of the paper: every what-if decision must
+come from the DBMS' internal model so that recommended changes are
+actually used).  It selects access paths — sequential scan, primary
+B-Tree range scan, secondary index scan (real or *virtual*) — and join
+orders/methods, producing a physical plan tree annotated with estimated
+rows and costs.
+"""
+
+from repro.optimizer.optimizer import Optimizer, OptimizationResult
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer import plans
+
+__all__ = ["Optimizer", "OptimizationResult", "CostModel", "plans"]

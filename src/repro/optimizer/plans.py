@@ -1,0 +1,431 @@
+"""Physical plan nodes.
+
+Plan nodes are produced by the optimizer and consumed by the executor.
+Each node carries its *cumulative* estimated cost and output cardinality
+and knows its output scope — the ordered ``(binding, column)`` pairs an
+expression compiler resolves column references against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sql import ast_nodes as ast
+
+Scope = tuple[tuple[str | None, str], ...]
+"""Ordered output columns as (binding, column_name); binding is None for
+computed columns."""
+
+
+@dataclass
+class PlanNode:
+    """Base class: estimated output rows and cumulative cost."""
+
+    estimated_rows: float = field(default=0.0, init=False)
+    estimated_cost: float = field(default=0.0, init=False)
+    estimated_io_cost: float = field(default=0.0, init=False)
+    estimated_cpu_cost: float = field(default=0.0, init=False)
+
+    @property
+    def scope(self) -> Scope:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def node_label(self) -> str:
+        return type(self).__name__.removesuffix("Plan")
+
+    def explain(self, indent: int = 0) -> str:
+        """Render the plan subtree as indented text."""
+        pad = "  " * indent
+        line = (f"{pad}{self.node_label()} "
+                f"(rows={self.estimated_rows:.0f} "
+                f"cost={self.estimated_cost:.1f})")
+        parts = [line]
+        for child in self.children:
+            parts.append(child.explain(indent + 1))
+        return "\n".join(parts)
+
+    def walk(self):
+        """Yield this node and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def uses_virtual_index(self) -> bool:
+        """True if any node in the subtree reads a virtual index."""
+        return any(
+            isinstance(node, IndexScanPlan) and node.virtual
+            for node in self.walk()
+        )
+
+    def used_indexes(self) -> tuple[str, ...]:
+        """Names of all (real or virtual) indexes read by the subtree."""
+        names = [node.index_name for node in self.walk()
+                 if isinstance(node, IndexScanPlan)]
+        names += [f"{node.table_name}.btree" for node in self.walk()
+                  if isinstance(node, BTreeScanPlan) and node.key_bounded]
+        names += [f"{node.table_name}.hash" for node in self.walk()
+                  if isinstance(node, HashScanPlan)]
+        return tuple(dict.fromkeys(names))
+
+
+@dataclass(frozen=True)
+class KeyCondition:
+    """A sargable condition on one key column: ``column <op> literal``."""
+
+    column: str
+    op: str  # "=", "<", "<=", ">", ">="
+    value: Any
+
+    def to_sql(self) -> str:
+        return f"{self.column} {self.op} {ast.Literal(self.value).to_sql()}"
+
+
+@dataclass
+class SeqScanPlan(PlanNode):
+    """Full scan of a base table with an optional pushed-down filter."""
+
+    table_name: str
+    binding: str
+    columns: tuple[str, ...]
+    filter_expr: ast.Expression | None = None
+
+    @property
+    def scope(self) -> Scope:
+        return tuple((self.binding, c) for c in self.columns)
+
+    def node_label(self) -> str:
+        label = f"SeqScan({self.table_name} as {self.binding})"
+        if self.filter_expr is not None:
+            label += f" filter={self.filter_expr.to_sql()}"
+        return label
+
+
+@dataclass
+class BTreeScanPlan(PlanNode):
+    """Keyed (or full, in key order) scan of a B-Tree stored table."""
+
+    table_name: str
+    binding: str
+    columns: tuple[str, ...]
+    key_conditions: tuple[KeyCondition, ...] = ()
+    filter_expr: ast.Expression | None = None
+
+    @property
+    def key_bounded(self) -> bool:
+        return bool(self.key_conditions)
+
+    @property
+    def scope(self) -> Scope:
+        return tuple((self.binding, c) for c in self.columns)
+
+    def node_label(self) -> str:
+        label = f"BTreeScan({self.table_name} as {self.binding})"
+        if self.key_conditions:
+            keys = " and ".join(c.to_sql() for c in self.key_conditions)
+            label += f" key=[{keys}]"
+        if self.filter_expr is not None:
+            label += f" filter={self.filter_expr.to_sql()}"
+        return label
+
+
+@dataclass
+class HashScanPlan(PlanNode):
+    """Equality probe into a HASH-structured table (full key only)."""
+
+    table_name: str
+    binding: str
+    columns: tuple[str, ...]
+    key_conditions: tuple[KeyCondition, ...] = ()
+    filter_expr: ast.Expression | None = None
+
+    @property
+    def scope(self) -> Scope:
+        return tuple((self.binding, c) for c in self.columns)
+
+    def node_label(self) -> str:
+        keys = " and ".join(c.to_sql() for c in self.key_conditions)
+        label = f"HashScan({self.table_name} as {self.binding}) key=[{keys}]"
+        if self.filter_expr is not None:
+            label += f" filter={self.filter_expr.to_sql()}"
+        return label
+
+
+@dataclass
+class IndexScanPlan(PlanNode):
+    """Secondary-index access: probe the index B-Tree, fetch base rows.
+
+    ``virtual`` index scans may be *costed* but never executed; the
+    what-if advisor relies on the optimizer choosing them when they
+    would beat the existing paths.
+    """
+
+    index_name: str
+    table_name: str
+    binding: str
+    columns: tuple[str, ...]
+    key_conditions: tuple[KeyCondition, ...] = ()
+    filter_expr: ast.Expression | None = None
+    virtual: bool = False
+
+    @property
+    def scope(self) -> Scope:
+        return tuple((self.binding, c) for c in self.columns)
+
+    def node_label(self) -> str:
+        kind = "VirtualIndexScan" if self.virtual else "IndexScan"
+        keys = " and ".join(c.to_sql() for c in self.key_conditions)
+        label = (f"{kind}({self.index_name} on {self.table_name} "
+                 f"as {self.binding}) key=[{keys}]")
+        if self.filter_expr is not None:
+            label += f" filter={self.filter_expr.to_sql()}"
+        return label
+
+
+@dataclass
+class NestedLoopJoinPlan(PlanNode):
+    """Tuple-at-a-time join; the inner side is materialized and rescanned."""
+
+    left: PlanNode
+    right: PlanNode
+    condition: ast.Expression | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    @property
+    def scope(self) -> Scope:
+        return self.left.scope + self.right.scope
+
+    def node_label(self) -> str:
+        cond = self.condition.to_sql() if self.condition else "TRUE"
+        return f"NestedLoopJoin on {cond}"
+
+
+@dataclass
+class HashJoinPlan(PlanNode):
+    """Equi-join: build a hash table on the right side, probe with left."""
+
+    left: PlanNode
+    right: PlanNode
+    left_keys: tuple[ast.Expression, ...] = ()
+    right_keys: tuple[ast.Expression, ...] = ()
+    residual: ast.Expression | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    @property
+    def scope(self) -> Scope:
+        return self.left.scope + self.right.scope
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin on [{keys}]"
+
+
+@dataclass
+class LeftOuterJoinPlan(PlanNode):
+    """LEFT OUTER JOIN: every left row survives; unmatched rows are
+    padded with NULLs on the right side.
+
+    When ``left_keys``/``right_keys`` are set the executor matches via a
+    hash table; otherwise it evaluates ``condition`` per pair.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    condition: ast.Expression | None = None
+    left_keys: tuple[ast.Expression, ...] = ()
+    right_keys: tuple[ast.Expression, ...] = ()
+    residual: ast.Expression | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    @property
+    def scope(self) -> Scope:
+        return self.left.scope + self.right.scope
+
+    def node_label(self) -> str:
+        if self.left_keys:
+            keys = ", ".join(
+                f"{l.to_sql()}={r.to_sql()}"
+                for l, r in zip(self.left_keys, self.right_keys))
+            return f"LeftOuterJoin (hash) on [{keys}]"
+        cond = self.condition.to_sql() if self.condition else "TRUE"
+        return f"LeftOuterJoin on {cond}"
+
+
+@dataclass
+class IndexLookupJoinPlan(PlanNode):
+    """Nested loop whose inner side is a keyed lookup per outer row.
+
+    The inner side is a base table reached through a secondary index or
+    its primary B-Tree; this is the access path that makes recommended
+    indexes pay off on join workloads.
+    """
+
+    left: PlanNode
+    table_name: str
+    binding: str
+    columns: tuple[str, ...]
+    outer_keys: tuple[ast.Expression, ...] = ()
+    inner_key_columns: tuple[str, ...] = ()
+    via_index: str | None = None  # None means the table's primary B-Tree
+    virtual: bool = False
+    residual: ast.Expression | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left,)
+
+    @property
+    def scope(self) -> Scope:
+        return self.left.scope + tuple((self.binding, c) for c in self.columns)
+
+    def node_label(self) -> str:
+        path = self.via_index or f"{self.table_name}.btree"
+        if self.virtual:
+            path += " (virtual)"
+        keys = ", ".join(
+            f"{col}={expr.to_sql()}"
+            for col, expr in zip(self.inner_key_columns, self.outer_keys)
+        )
+        return (f"IndexLookupJoin -> {self.table_name} as {self.binding} "
+                f"via {path} on [{keys}]")
+
+    def uses_virtual_index(self) -> bool:
+        return self.virtual or super().uses_virtual_index()
+
+    def used_indexes(self) -> tuple[str, ...]:
+        own = self.via_index or f"{self.table_name}.btree"
+        return tuple(dict.fromkeys((own,) + self.left.used_indexes()))
+
+
+@dataclass
+class FilterPlan(PlanNode):
+    child: PlanNode
+    condition: ast.Expression | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def node_label(self) -> str:
+        cond = self.condition.to_sql() if self.condition else "TRUE"
+        return f"Filter {cond}"
+
+
+@dataclass
+class ProjectPlan(PlanNode):
+    child: PlanNode
+    expressions: tuple[ast.Expression, ...] = ()
+    names: tuple[str, ...] = ()
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def scope(self) -> Scope:
+        return tuple((None, name) for name in self.names)
+
+    def node_label(self) -> str:
+        return f"Project [{', '.join(self.names)}]"
+
+
+@dataclass
+class AggregatePlan(PlanNode):
+    """Hash aggregation over optional grouping expressions.
+
+    Output scope: the group expressions first (named by their SQL text),
+    then one column per aggregate call (named by its SQL text); the
+    parent Project re-maps these onto the user's select list.
+    """
+
+    child: PlanNode
+    group_expressions: tuple[ast.Expression, ...] = ()
+    aggregates: tuple[ast.FunctionCall, ...] = ()
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def scope(self) -> Scope:
+        group = tuple((None, e.to_sql()) for e in self.group_expressions)
+        aggs = tuple((None, a.to_sql()) for a in self.aggregates)
+        return group + aggs
+
+    def node_label(self) -> str:
+        groups = ", ".join(e.to_sql() for e in self.group_expressions)
+        aggs = ", ".join(a.to_sql() for a in self.aggregates)
+        return f"Aggregate groups=[{groups}] aggs=[{aggs}]"
+
+
+@dataclass
+class SortPlan(PlanNode):
+    child: PlanNode
+    sort_keys: tuple[tuple[ast.Expression, bool], ...] = ()
+    """(expression, descending) pairs."""
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{e.to_sql()}{' DESC' if desc else ''}"
+            for e, desc in self.sort_keys
+        )
+        return f"Sort [{keys}]"
+
+
+@dataclass
+class DistinctPlan(PlanNode):
+    child: PlanNode
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+
+@dataclass
+class LimitPlan(PlanNode):
+    child: PlanNode
+    limit: int | None = None
+    offset: int | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def node_label(self) -> str:
+        return f"Limit {self.limit} offset {self.offset or 0}"

@@ -1,0 +1,161 @@
+"""Predicate analysis: qualification, conjunct splitting, classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+from repro.sql import ast_nodes as ast
+
+
+def split_conjuncts(expr: ast.Expression | None) -> list[ast.Expression]:
+    """Flatten a boolean expression into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[ast.Expression]) -> ast.Expression | None:
+    """Combine conjuncts back into a single expression (or None)."""
+    result: ast.Expression | None = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else ast.BinaryOp(
+            "and", result, conjunct)
+    return result
+
+
+class BindingResolver:
+    """Resolves (and rewrites) column references against FROM bindings."""
+
+    def __init__(self, binding_columns: dict[str, tuple[str, ...]]) -> None:
+        self._binding_columns = binding_columns
+        self._column_bindings: dict[str, list[str]] = {}
+        for binding, columns in binding_columns.items():
+            for column in columns:
+                self._column_bindings.setdefault(column, []).append(binding)
+
+    @property
+    def bindings(self) -> tuple[str, ...]:
+        return tuple(self._binding_columns)
+
+    def columns_of(self, binding: str) -> tuple[str, ...]:
+        return self._binding_columns[binding]
+
+    def resolve(self, ref: ast.ColumnRef) -> ast.ColumnRef:
+        """Return a fully qualified copy of ``ref``."""
+        if ref.table is not None:
+            columns = self._binding_columns.get(ref.table)
+            if columns is None:
+                raise OptimizerError(f"unknown table binding {ref.table!r}")
+            if ref.name not in columns:
+                raise OptimizerError(
+                    f"binding {ref.table!r} has no column {ref.name!r}"
+                )
+            return ref
+        owners = self._column_bindings.get(ref.name, [])
+        if not owners:
+            raise OptimizerError(f"unknown column {ref.name!r}")
+        if len(owners) > 1:
+            raise OptimizerError(
+                f"column {ref.name!r} is ambiguous between bindings "
+                f"{', '.join(sorted(owners))}"
+            )
+        return ast.ColumnRef(ref.name, table=owners[0])
+
+    def qualify(self, expr: ast.Expression) -> ast.Expression:
+        """Rewrite ``expr`` with every column reference fully qualified."""
+        if isinstance(expr, ast.ColumnRef):
+            return self.resolve(expr)
+        if isinstance(expr, ast.Literal) or isinstance(expr, ast.Star):
+            return expr
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, self.qualify(expr.operand))
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(expr.op, self.qualify(expr.left),
+                                self.qualify(expr.right))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(self.qualify(expr.operand), expr.negated)
+        if isinstance(expr, ast.InList):
+            return ast.InList(self.qualify(expr.operand),
+                              tuple(self.qualify(i) for i in expr.items),
+                              expr.negated)
+        if isinstance(expr, ast.Between):
+            return ast.Between(self.qualify(expr.operand),
+                               self.qualify(expr.low),
+                               self.qualify(expr.high), expr.negated)
+        if isinstance(expr, ast.FunctionCall):
+            return ast.FunctionCall(expr.name,
+                                    tuple(self.qualify(a) for a in expr.args),
+                                    expr.distinct)
+        raise OptimizerError(f"cannot qualify expression {expr!r}")
+
+
+def expression_bindings(expr: ast.Expression) -> frozenset[str]:
+    """Bindings referenced by a fully qualified expression."""
+    return frozenset(
+        ref.table for ref in ast.referenced_columns(expr)
+        if ref.table is not None
+    )
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One equi-join predicate between two bindings."""
+
+    left: ast.ColumnRef
+    right: ast.ColumnRef
+
+    @property
+    def bindings(self) -> frozenset[str]:
+        return frozenset((self.left.table, self.right.table))
+
+    def column_for(self, binding: str) -> ast.ColumnRef:
+        if self.left.table == binding:
+            return self.left
+        if self.right.table == binding:
+            return self.right
+        raise OptimizerError(f"edge does not touch binding {binding!r}")
+
+    def other(self, binding: str) -> ast.ColumnRef:
+        if self.left.table == binding:
+            return self.right
+        return self.left
+
+    def to_expression(self) -> ast.Expression:
+        return ast.BinaryOp("=", self.left, self.right)
+
+
+@dataclass
+class ClassifiedPredicates:
+    """WHERE/ON conjuncts split by role."""
+
+    per_binding: dict[str, list[ast.Expression]]
+    edges: list[JoinEdge]
+    residual: list[ast.Expression]
+
+
+def classify_conjuncts(conjuncts: list[ast.Expression]) -> ClassifiedPredicates:
+    """Split qualified conjuncts into single-table predicates, equi-join
+    edges and residual (multi-table, non-equi) predicates."""
+    per_binding: dict[str, list[ast.Expression]] = {}
+    edges: list[JoinEdge] = []
+    residual: list[ast.Expression] = []
+    for conjunct in conjuncts:
+        bindings = expression_bindings(conjunct)
+        if len(bindings) <= 1:
+            if bindings:
+                per_binding.setdefault(next(iter(bindings)), []).append(conjunct)
+            else:
+                residual.append(conjunct)
+            continue
+        if (len(bindings) == 2 and isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ast.ColumnRef)
+                and isinstance(conjunct.right, ast.ColumnRef)
+                and conjunct.left.table != conjunct.right.table):
+            edges.append(JoinEdge(conjunct.left, conjunct.right))
+            continue
+        residual.append(conjunct)
+    return ClassifiedPredicates(per_binding, edges, residual)

@@ -1,0 +1,70 @@
+"""Convenience factories for the paper's experimental setups.
+
+Section V uses three Ingres instances: *Original* (no monitoring code),
+*Monitoring* (sensors compiled in) and *Daemon* (monitoring plus the
+storage daemon).  These helpers build the equivalent configurations so
+examples, tests and benchmarks share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import Clock
+from repro.config import DaemonConfig, EngineConfig
+from repro.core.daemon import StorageDaemon
+from repro.core.ima import register_ima_tables
+from repro.core.monitor import IntegratedMonitor, MonitorSensors
+from repro.core.sensors import NullSensors
+from repro.core.workload_db import WorkloadDatabase
+from repro.engine.engine import EngineInstance
+
+
+@dataclass
+class Setup:
+    """One engine configuration plus its monitoring attachments."""
+
+    name: str
+    engine: EngineInstance
+    monitor: IntegratedMonitor | None = None
+    workload_db: WorkloadDatabase | None = None
+    daemon: StorageDaemon | None = None
+
+
+def original_setup(config: EngineConfig | None = None,
+                   clock: Clock | None = None) -> Setup:
+    """The untouched instance: sensor call sites dispatch to no-ops."""
+    engine = EngineInstance(config, sensors=NullSensors(), clock=clock)
+    return Setup(name="original", engine=engine)
+
+
+def monitoring_setup(config: EngineConfig | None = None,
+                     clock: Clock | None = None) -> Setup:
+    """Monitoring code "compiled in": integrated sensors, no daemon."""
+    engine = EngineInstance(config, clock=clock)
+    monitor = IntegratedMonitor(engine.config.monitor, engine.clock)
+    engine.sensors = MonitorSensors(monitor)
+    return Setup(name="monitoring", engine=engine, monitor=monitor)
+
+
+def daemon_setup(database_name: str,
+                 config: EngineConfig | None = None,
+                 clock: Clock | None = None,
+                 daemon_config: DaemonConfig | None = None) -> Setup:
+    """Monitoring plus the storage daemon persisting to a workload DB.
+
+    The engine and the named database are created, IMA virtual tables
+    are registered in it, and a daemon is wired up (not started — call
+    ``setup.daemon.start()`` or drive ``poll_once`` manually)."""
+    setup = monitoring_setup(config, clock)
+    engine = setup.engine
+    database = engine.create_database(database_name)
+    assert setup.monitor is not None
+    register_ima_tables(database, setup.monitor)
+    workload_db = WorkloadDatabase(engine.config, engine.clock)
+    daemon = StorageDaemon(engine, database_name, workload_db,
+                           daemon_config or engine.config.daemon)
+    setup.name = "daemon"
+    setup.workload_db = workload_db
+    setup.daemon = daemon
+    return setup

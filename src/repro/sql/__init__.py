@@ -1,0 +1,13 @@
+"""SQL front-end: lexer, AST and recursive-descent parser.
+
+The dialect covers what the paper's workloads and tooling need:
+SELECT (joins, aggregation, ordering, LIMIT), INSERT/UPDATE/DELETE,
+DDL (CREATE/DROP TABLE and INDEX, including VIRTUAL indexes), Ingres'
+MODIFY ... TO <structure>, CREATE STATISTICS ("optimizedb") and simple
+row-insert triggers used by the workload database's alerting.
+"""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_statement, parse_script
+
+__all__ = ["Token", "TokenType", "tokenize", "parse_statement", "parse_script"]

@@ -1,0 +1,155 @@
+"""Hand-written SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import LexerError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "select", "distinct", "from", "where", "group", "by", "having",
+    "order", "asc", "desc", "limit", "offset", "join", "inner", "left",
+    "cross", "on", "as", "and", "or", "not", "in", "between", "like",
+    "is", "null", "true", "false", "insert", "into", "values", "update",
+    "set", "delete", "create", "drop", "table", "index", "unique",
+    "virtual", "primary", "key", "with", "structure", "main_pages",
+    "modify", "to", "statistics", "trigger", "when", "raise", "begin",
+    "commit", "rollback", "exists", "explain", "outer",
+})
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = frozenset("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    length = len(text)
+    pos = 0
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "-" and text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            value, pos = _scan_string(text, pos)
+            yield Token(TokenType.STRING, value, pos)
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length
+                              and text[pos + 1].isdigit()):
+            token, pos = _scan_number(text, pos)
+            yield token
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokenType.KEYWORD, lowered, start)
+            else:
+                yield Token(TokenType.IDENT, lowered, start)
+            continue
+        if char == '"':
+            end = text.find('"', pos + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", pos)
+            yield Token(TokenType.IDENT, text[pos + 1 : end].lower(), pos)
+            pos = end + 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                yield Token(TokenType.OPERATOR, op, pos)
+                pos += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCT:
+            yield Token(TokenType.PUNCT, char, pos)
+            pos += 1
+            continue
+        raise LexerError(f"unexpected character {char!r}", pos)
+    yield Token(TokenType.EOF, None, length)
+
+
+def _scan_string(text: str, pos: int) -> tuple[str, int]:
+    """Scan a single-quoted string with '' as the escape for a quote."""
+    start = pos
+    pos += 1
+    parts: list[str] = []
+    while pos < len(text):
+        char = text[pos]
+        if char == "'":
+            if text.startswith("''", pos):
+                parts.append("'")
+                pos += 2
+                continue
+            return "".join(parts), pos + 1
+        parts.append(char)
+        pos += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _scan_number(text: str, pos: int) -> tuple[Token, int]:
+    start = pos
+    length = len(text)
+    while pos < length and text[pos].isdigit():
+        pos += 1
+    is_float = False
+    if pos < length and text[pos] == ".":
+        is_float = True
+        pos += 1
+        while pos < length and text[pos].isdigit():
+            pos += 1
+    if pos < length and text[pos] in "eE":
+        exp_end = pos + 1
+        if exp_end < length and text[exp_end] in "+-":
+            exp_end += 1
+        if exp_end < length and text[exp_end].isdigit():
+            is_float = True
+            pos = exp_end
+            while pos < length and text[pos].isdigit():
+                pos += 1
+    literal = text[start:pos]
+    if is_float:
+        return Token(TokenType.FLOAT, float(literal), start), pos
+    return Token(TokenType.INTEGER, int(literal), start), pos

@@ -1,0 +1,147 @@
+"""The three workload classes of the paper's evaluation (section V).
+
+* :func:`complex_query_set` — 50 expensive multi-join statements in the
+  spirit of the NREF2J/NREF3J sets: joins across 2-4 tables, range and
+  LIKE predicates, aggregation and sorting.
+* :func:`simple_join_statements` — the ``50k`` test: the same 2-table
+  join template with the WHERE clause cycling through distinct nref_ids,
+  "forcing the monitor to log each statement as a new one".
+* :func:`point_query_statements` — the ``1m`` test: the most trivial
+  point query, repeated with a small id rotation so DBMS caching kicks
+  in and the monitoring share dominates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.nref import NrefScale, nref_id
+
+_COMPLEX_TEMPLATES = (
+    # 2-way joins (NREF2J-like)
+    "select p.nref_id, s.sequence, s.ordinal from protein p "
+    "join sequence s on p.nref_id = s.nref_id "
+    "where p.length between {lo} and {hi}",
+
+    "select o.organism_name, count(*) cnt from protein p "
+    "join organism o on p.nref_id = o.nref_id "
+    "where p.mol_weight > {weight} group by o.organism_name "
+    "order by cnt desc",
+
+    "select p.name, p.length from protein p "
+    "join source src on p.source_id = src.source_id "
+    "where src.source_name = '{source}' and p.length > {lo} "
+    "order by p.length desc",
+
+    "select t.lineage, count(*) cnt from organism o "
+    "join taxonomy t on o.tax_id = t.tax_id "
+    "where t.rank = '{rank}' group by t.lineage",
+
+    "select n.nref_id, max(n.similarity) best from neighboring_seq n "
+    "join protein p on n.nref_id = p.nref_id "
+    "where p.tax_id = {tax} group by n.nref_id order by best desc",
+
+    # 3-way joins (NREF3J-like)
+    "select p.nref_id, o.organism_name, s.crc from protein p "
+    "join organism o on p.nref_id = o.nref_id "
+    "join sequence s on p.nref_id = s.nref_id "
+    "where o.tax_id = {tax} and p.length > {lo}",
+
+    "select t.rank, avg(p.mol_weight) avg_weight from protein p "
+    "join organism o on p.nref_id = o.nref_id "
+    "join taxonomy t on o.tax_id = t.tax_id "
+    "where p.length between {lo} and {hi} group by t.rank",
+
+    "select p.name, n.similarity from protein p "
+    "join neighboring_seq n on p.nref_id = n.nref_id "
+    "join source src on p.source_id = src.source_id "
+    "where src.source_name = '{source}' and n.similarity > {sim} "
+    "order by n.similarity desc limit 100",
+
+    "select o.organism_name, count(distinct p.nref_id) proteins "
+    "from organism o join protein p on o.nref_id = p.nref_id "
+    "join sequence s on p.nref_id = s.nref_id "
+    "where s.ordinal < {ordinal} group by o.organism_name "
+    "order by proteins desc limit 20",
+
+    # 4-way join
+    "select t.lineage, src.source_name, count(*) cnt from protein p "
+    "join organism o on p.nref_id = o.nref_id "
+    "join taxonomy t on o.tax_id = t.tax_id "
+    "join source src on p.source_id = src.source_id "
+    "where p.mol_weight between {weight} and {weight2} "
+    "group by t.lineage, src.source_name order by cnt desc limit 25",
+
+    # scans with expensive predicates
+    "select p.nref_id, p.name from protein p "
+    "where p.name like '%kinase-{kinase}%' order by p.nref_id",
+
+    "select count(*), avg(length), min(mol_weight), max(mol_weight) "
+    "from protein where tax_id in ({tax}, {tax2}, {tax3})",
+)
+
+_SOURCES = ("PIR", "SwissProt", "TrEMBL", "GenPept", "PDB")
+_RANKS = ("species", "genus", "family", "order")
+
+
+def complex_query_set(scale: NrefScale | None = None, count: int = 50,
+                      seed: int = 7) -> list[str]:
+    """Generate the 50-statement complex join workload."""
+    scale = scale or NrefScale()
+    rng = random.Random(seed)
+    statements: list[str] = []
+    for i in range(count):
+        template = _COMPLEX_TEMPLATES[i % len(_COMPLEX_TEMPLATES)]
+        lo = rng.randint(scale.min_sequence_length,
+                         scale.max_sequence_length - 10)
+        weight = round(rng.uniform(4000, 9000), 1)
+        statements.append(template.format(
+            lo=lo,
+            hi=lo + rng.randint(10, 40),
+            weight=weight,
+            weight2=round(weight + rng.uniform(500, 3000), 1),
+            tax=rng.randint(1, max(2, scale.taxa // 4)),
+            tax2=rng.randint(1, scale.taxa),
+            tax3=rng.randint(1, scale.taxa),
+            source=rng.choice(_SOURCES),
+            rank=rng.choice(_RANKS),
+            sim=round(rng.uniform(0.5, 0.9), 2),
+            ordinal=rng.randint(scale.proteins // 4,
+                                max(2, scale.proteins // 2)),
+            kinase=rng.randint(0, 96),
+        ))
+    return statements
+
+
+def simple_join_statements(count: int, scale: NrefScale | None = None,
+                           seed: int = 11) -> list[str]:
+    """The 50k test: one join template, ``count`` distinct WHERE values.
+
+    Each statement text is unique, so every one lands in the monitor's
+    statement buffer as a new entry (the buffer wraps long before the
+    run ends, exactly as in the paper)."""
+    scale = scale or NrefScale()
+    rng = random.Random(seed)
+    statements = []
+    for _ in range(count):
+        identifier = nref_id(rng.randint(1, scale.proteins))
+        statements.append(
+            "select p.nref_id, s.sequence, s.ordinal from protein p "
+            "join sequence s on p.nref_id = s.nref_id "
+            f"where p.nref_id = '{identifier}'"
+        )
+    return statements
+
+
+def point_query_statements(count: int, scale: NrefScale | None = None,
+                           distinct_ids: int = 100,
+                           seed: int = 13) -> list[str]:
+    """The 1m test: trivial point queries over a small id rotation."""
+    scale = scale or NrefScale()
+    rng = random.Random(seed)
+    ids = [nref_id(rng.randint(1, scale.proteins))
+           for _ in range(max(1, distinct_ids))]
+    return [
+        f"select p.nref_id from protein p where p.nref_id = '{ids[i % len(ids)]}'"
+        for i in range(count)
+    ]

@@ -1,0 +1,214 @@
+"""Tests for the recommendation dependency graph and autonomous tuner."""
+
+import pytest
+
+from repro.core.analyzer.dependencies import (
+    InteractionKind,
+    build_dependency_graph,
+    select_recommendations,
+)
+from repro.core.analyzer.recommendations import (
+    Recommendation,
+    RecommendationKind,
+)
+from repro.core.autopilot import AutonomousTuner, TuningPolicy
+from repro.workloads import NrefScale, WorkloadRunner, complex_query_set
+
+
+def index_rec(table, columns, benefit=100.0, name=None):
+    return Recommendation(
+        kind=RecommendationKind.CREATE_INDEX,
+        table_name=table, columns=tuple(columns),
+        index_name=name or f"idx_{table}_{'_'.join(columns)}",
+        estimated_benefit=benefit,
+    )
+
+
+def stats_rec(table):
+    return Recommendation(RecommendationKind.CREATE_STATISTICS, table)
+
+
+def modify_rec(table):
+    return Recommendation(RecommendationKind.MODIFY_TO_BTREE, table)
+
+
+class TestDependencyGraph:
+    def test_subsumption_detected(self):
+        graph = build_dependency_graph([
+            index_rec("t", ("a", "b")),
+            index_rec("t", ("a",)),
+        ])
+        subsumes = graph.interactions_of(InteractionKind.SUBSUMES)
+        assert len(subsumes) == 1
+        assert graph.nodes[subsumes[0].source].columns == ("a", "b")
+
+    def test_non_prefix_not_subsumed(self):
+        graph = build_dependency_graph([
+            index_rec("t", ("a", "b")),
+            index_rec("t", ("b",)),
+        ])
+        assert not graph.interactions_of(InteractionKind.SUBSUMES)
+
+    def test_different_tables_not_subsumed(self):
+        graph = build_dependency_graph([
+            index_rec("t", ("a", "b")),
+            index_rec("u", ("a",)),
+        ])
+        assert not graph.interactions_of(InteractionKind.SUBSUMES)
+
+    def test_pk_index_redundant_with_modify(self, fresh_nref_setup):
+        database = fresh_nref_setup.engine.database("nref")
+        graph = build_dependency_graph([
+            modify_rec("protein"),
+            index_rec("protein", ("nref_id",)),
+        ], database)
+        redundant = graph.interactions_of(
+            InteractionKind.REDUNDANT_WITH_MODIFY)
+        assert len(redundant) == 1
+
+    def test_prerequisite_ordering_edges(self):
+        graph = build_dependency_graph([
+            stats_rec("t"),
+            modify_rec("t"),
+            index_rec("t", ("a",)),
+        ])
+        prerequisites = graph.interactions_of(InteractionKind.PREREQUISITE)
+        pairs = {(graph.nodes[p.source].kind, graph.nodes[p.target].kind)
+                 for p in prerequisites}
+        assert (RecommendationKind.MODIFY_TO_BTREE,
+                RecommendationKind.CREATE_INDEX) in pairs
+        assert (RecommendationKind.CREATE_INDEX,
+                RecommendationKind.CREATE_STATISTICS) in pairs
+
+    def test_index_bytes_estimated(self, fresh_nref_setup):
+        database = fresh_nref_setup.engine.database("nref")
+        graph = build_dependency_graph(
+            [index_rec("protein", ("tax_id",))], database)
+        assert graph.index_bytes[0] > 0
+
+    def test_describe_renders(self):
+        graph = build_dependency_graph([
+            index_rec("t", ("a", "b")),
+            index_rec("t", ("a",)),
+        ])
+        assert "subsumes" in graph.describe()
+
+
+class TestSelection:
+    def test_subsumed_index_dropped(self):
+        graph = build_dependency_graph([
+            index_rec("t", ("a", "b"), benefit=100.0),
+            index_rec("t", ("a",), benefit=50.0),
+        ])
+        result = select_recommendations(graph)
+        assert [r.columns for r in result.selected] == [("a", "b")]
+        assert result.dropped[0][0].columns == ("a",)
+
+    def test_high_value_narrow_index_survives(self):
+        graph = build_dependency_graph([
+            index_rec("t", ("a", "b"), benefit=10.0),
+            index_rec("t", ("a",), benefit=500.0),
+        ])
+        result = select_recommendations(graph)
+        assert len(result.selected) == 2
+
+    def test_benefit_threshold(self):
+        graph = build_dependency_graph([index_rec("t", ("a",), benefit=5.0)])
+        result = select_recommendations(graph, min_benefit=10.0)
+        assert not result.selected
+        assert "below threshold" in result.dropped[0][1]
+
+    def test_disk_budget_enforced(self, fresh_nref_setup):
+        database = fresh_nref_setup.engine.database("nref")
+        graph = build_dependency_graph([
+            index_rec("protein", ("tax_id",), benefit=100.0),
+            index_rec("sequence", ("crc",), benefit=1.0),
+        ], database)
+        tight_budget = min(graph.index_bytes.values()) + 1
+        result = select_recommendations(graph,
+                                        disk_budget_bytes=tight_budget)
+        assert len(result.selected) == 1
+        # the benefit-per-byte winner got the budget
+        assert result.selected[0].table_name == "protein"
+        assert any("budget" in reason for _r, reason in result.dropped)
+
+    def test_non_index_recommendations_always_kept(self):
+        graph = build_dependency_graph([
+            stats_rec("t"), modify_rec("u"),
+        ])
+        result = select_recommendations(graph, disk_budget_bytes=0)
+        assert len(result.selected) == 2
+
+    def test_application_order_safe(self):
+        graph = build_dependency_graph([
+            stats_rec("t"),
+            index_rec("t", ("a",)),
+            modify_rec("t"),
+        ])
+        result = select_recommendations(graph)
+        kinds = [r.kind for r in result.selected]
+        assert kinds == [RecommendationKind.MODIFY_TO_BTREE,
+                         RecommendationKind.CREATE_INDEX,
+                         RecommendationKind.CREATE_STATISTICS]
+
+
+class TestAutonomousTuner:
+    @pytest.fixture
+    def recorded_setup(self, fresh_nref_setup):
+        setup = fresh_nref_setup
+        session = setup.engine.connect("nref")
+        runner = WorkloadRunner(session, keep_per_statement=False)
+        runner.run(complex_query_set(NrefScale(proteins=300), count=15))
+        return setup
+
+    def test_cycle_applies_changes(self, recorded_setup):
+        setup = recorded_setup
+        tuner = AutonomousTuner(setup.engine, "nref", setup.workload_db,
+                                daemon=setup.daemon)
+        report = tuner.run_cycle()
+        assert report.cycle == 1
+        assert report.considered
+        assert report.applied_count > 0
+        assert tuner.total_changes_applied == report.applied_count
+        assert "autonomous tuning cycle" in report.describe()
+
+    def test_second_cycle_does_not_repeat(self, recorded_setup):
+        setup = recorded_setup
+        tuner = AutonomousTuner(setup.engine, "nref", setup.workload_db,
+                                daemon=setup.daemon)
+        first = tuner.run_cycle()
+        second = tuner.run_cycle()
+        first_sqls = {a.sql for a in first.applied if a.succeeded}
+        second_sqls = {a.sql for a in second.applied if a.succeeded}
+        assert not (first_sqls & second_sqls)
+
+    def test_dry_run_applies_nothing(self, recorded_setup):
+        setup = recorded_setup
+        database = setup.engine.database("nref")
+        version_before = database.schema_version
+        tuner = AutonomousTuner(setup.engine, "nref", setup.workload_db,
+                                daemon=setup.daemon,
+                                policy=TuningPolicy(dry_run=True))
+        report = tuner.run_cycle()
+        assert report.considered
+        assert report.applied == []
+        assert database.schema_version == version_before
+
+    def test_structure_changes_can_be_disabled(self, recorded_setup):
+        setup = recorded_setup
+        tuner = AutonomousTuner(
+            setup.engine, "nref", setup.workload_db, daemon=setup.daemon,
+            policy=TuningPolicy(allow_structure_changes=False))
+        report = tuner.run_cycle()
+        applied_kinds = {a.recommendation.kind for a in report.applied}
+        assert RecommendationKind.MODIFY_TO_BTREE not in applied_kinds
+        assert any("structure changes disabled" in reason
+                   for _r, reason in report.skipped)
+
+    def test_change_cap(self, recorded_setup):
+        setup = recorded_setup
+        tuner = AutonomousTuner(
+            setup.engine, "nref", setup.workload_db, daemon=setup.daemon,
+            policy=TuningPolicy(max_changes_per_cycle=2))
+        report = tuner.run_cycle()
+        assert len(report.applied) <= 2

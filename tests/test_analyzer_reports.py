@@ -1,0 +1,183 @@
+"""Tests for report rendering, trends and the analyzer orchestrator."""
+
+import pytest
+
+from repro.core.analyzer import Analyzer
+from repro.core.analyzer.reports import (
+    CostDiagramEntry,
+    cost_diagram,
+    locks_diagram,
+)
+from repro.core.analyzer.trends import (
+    fit_trend,
+    predict_threshold_crossings,
+    trends_from_statistics,
+)
+from repro.core.analyzer.workload_view import StatementProfile
+from repro.core.records import StatisticsRecord
+
+
+def profile(text_hash, actual, estimated):
+    return StatementProfile(
+        text_hash=text_hash, text=f"q{text_hash}", executions=1,
+        total_actual_io=actual, total_estimated_io=estimated,
+    )
+
+
+class TestCostDiagram:
+    def test_top_n_selection(self):
+        profiles = [profile(i, actual=i * 10.0, estimated=i * 10.0)
+                    for i in range(1, 21)]
+        diagram = cost_diagram(profiles, top=10)
+        assert len(diagram.entries) == 10
+        assert diagram.entries[0].label == "Q1"
+        assert diagram.entries[0].actual_cost == 200.0  # most expensive
+
+    def test_virtual_costs_applied(self):
+        profiles = [profile(1, actual=100.0, estimated=100.0)]
+        diagram = cost_diagram(profiles, virtual_costs={1: 10.0})
+        assert diagram.entries[0].virtual_estimated_cost == 10.0
+
+    def test_divergence_marker(self):
+        entry = CostDiagramEntry("Q1", "q", actual_cost=100.0,
+                                 estimated_cost=10.0,
+                                 virtual_estimated_cost=10.0)
+        assert entry.divergent
+        ok = CostDiagramEntry("Q2", "q", 100.0, 90.0, 90.0)
+        assert not ok.divergent
+
+    def test_render(self):
+        diagram = cost_diagram([profile(1, 100.0, 10.0)])
+        text = diagram.render()
+        assert "Q1" in text
+        assert "actual" in text
+        assert "collect statistics" in text
+
+    def test_render_empty(self):
+        assert "no statements" in cost_diagram([]).render()
+
+
+class TestLocksDiagram:
+    def rows(self):
+        samples = [
+            StatisticsRecord(timestamp=t, locks_held=held,
+                             lock_waits=waits, deadlocks=deadlocks)
+            for t, held, waits, deadlocks in [
+                (1.0, 5, 0, 0),
+                (2.0, 10, 2, 0),
+                (3.0, 3, 2, 1),
+            ]
+        ]
+        return [record.as_row() for record in samples]
+
+    def test_events_are_differentiated(self):
+        diagram = locks_diagram(self.rows())
+        assert diagram.wait_events == [(2.0, 2)]
+        assert diagram.deadlock_events == [(3.0, 1)]
+
+    def test_render_contains_markers(self):
+        text = locks_diagram(self.rows()).render()
+        assert "W" in text
+        assert "D!" in text
+        assert "deadlocks: 1" in text
+
+    def test_render_empty(self):
+        assert "no statistics" in locks_diagram([]).render()
+
+
+class TestTrends:
+    def test_fit_line(self):
+        points = [(float(t), 2.0 * t + 5.0) for t in range(10)]
+        trend = fit_trend("x", points)
+        assert trend.slope_per_second == pytest.approx(2.0)
+        assert trend.r_squared == pytest.approx(1.0)
+        assert trend.rising
+
+    def test_fit_needs_two_points(self):
+        assert fit_trend("x", [(1.0, 2.0)]) is None
+        assert fit_trend("x", []) is None
+        assert fit_trend("x", [(1.0, 2.0), (1.0, 3.0)]) is None
+
+    def test_flat_series(self):
+        trend = fit_trend("x", [(float(t), 7.0) for t in range(5)])
+        assert trend.slope_per_second == pytest.approx(0.0)
+        assert not trend.rising
+
+    def test_seconds_until(self):
+        trend = fit_trend("x", [(0.0, 0.0), (10.0, 10.0)])
+        assert trend.seconds_until(15.0) == pytest.approx(5.0)
+        assert trend.seconds_until(5.0) == 0.0  # already crossed
+        falling = fit_trend("x", [(0.0, 10.0), (10.0, 0.0)])
+        assert falling.seconds_until(100.0) is None
+
+    def test_trends_from_statistics(self):
+        rows = [StatisticsRecord(timestamp=float(t),
+                                 locks_held=t * 3,
+                                 current_sessions=2).as_row()
+                for t in range(6)]
+        trends = trends_from_statistics(rows)
+        assert trends["locks_held"].slope_per_second == pytest.approx(3.0)
+        assert trends["current_sessions"].slope_per_second == \
+            pytest.approx(0.0)
+
+    def test_predictions_sorted_and_filtered(self):
+        rows = [StatisticsRecord(timestamp=float(t), locks_held=t,
+                                 current_sessions=t * 10).as_row()
+                for t in range(6)]
+        trends = trends_from_statistics(rows)
+        predictions = predict_threshold_crossings(
+            trends, {"locks_held": 100.0, "current_sessions": 100.0})
+        assert [p.field for p in predictions] == ["current_sessions",
+                                                  "locks_held"]
+        assert "rising" in predictions[0].describe()
+
+    def test_noisy_trend_filtered_by_r_squared(self):
+        points = [(0.0, 0.0), (1.0, 100.0), (2.0, -50.0), (3.0, 80.0),
+                  (4.0, 10.0)]
+        trend = fit_trend("x", points)
+        predictions = predict_threshold_crossings(
+            {"x": trend}, {"x": 1000.0}, min_r_squared=0.5)
+        assert predictions == []
+
+
+class TestAnalyzerOrchestration:
+    def test_analyze_workload_db_end_to_end(self, fresh_nref_setup):
+        setup = fresh_nref_setup
+        session = setup.engine.connect("nref")
+        for tax in (90, 91, 92):
+            session.execute(
+                f"select name from protein where tax_id = {tax}")
+        session.execute(
+            "select p.name from protein p join organism o "
+            "on p.nref_id = o.nref_id where o.tax_id = 5")
+        setup.daemon.poll_once()
+        setup.daemon.flush()
+        analyzer = Analyzer(setup.engine.database("nref"))
+        report = analyzer.analyze_workload_db(setup.workload_db)
+        assert report.statements_analyzed >= 4
+        assert report.findings.overflow_tables  # unoptimized heaps overflow
+        text = report.render_text()
+        assert "ANALYZER REPORT" in text
+        assert "RECOMMENDATIONS" in text
+
+    def test_analyze_monitor_directly(self, fresh_nref_setup):
+        setup = fresh_nref_setup
+        session = setup.engine.connect("nref")
+        session.execute("select count(*) from protein where tax_id = 1")
+        analyzer = Analyzer(setup.engine.database("nref"))
+        report = analyzer.analyze_monitor(setup.monitor)
+        assert report.statements_analyzed >= 1
+        assert report.cost_diagram.entries
+
+    def test_thresholds_produce_predictions(self, fresh_nref_setup):
+        setup = fresh_nref_setup
+        monitor = setup.monitor
+        for t in range(5):
+            monitor.statistics.append(
+                StatisticsRecord(timestamp=float(t * 60),
+                                 locks_held=t * 10))
+        analyzer = Analyzer(setup.engine.database("nref"),
+                            thresholds={"locks_held": 1000.0})
+        report = analyzer.analyze_monitor(monitor)
+        assert any(p.field == "locks_held" for p in report.predictions)
+        assert "PREDICTIONS" in report.render_text()

@@ -1,0 +1,164 @@
+"""Tests for schema descriptors and the catalog manager."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import (
+    Column,
+    DataType,
+    IndexDef,
+    StorageStructure,
+    TableSchema,
+)
+from repro.errors import (
+    CatalogError,
+    DuplicateObjectError,
+    TypeMismatchError,
+    UnknownObjectError,
+)
+
+
+class TestColumn:
+    def test_varchar_requires_length(self):
+        with pytest.raises(CatalogError):
+            Column("bad", DataType.VARCHAR)
+
+    def test_int_rejects_bool(self):
+        column = Column("a", DataType.INT)
+        with pytest.raises(TypeMismatchError):
+            column.check_value(True)
+
+    def test_float_coerces_int(self):
+        column = Column("a", DataType.FLOAT)
+        assert column.check_value(3) == 3.0
+        assert isinstance(column.check_value(3), float)
+
+    def test_not_null_rejects_none(self):
+        column = Column("a", DataType.INT, nullable=False)
+        with pytest.raises(TypeMismatchError):
+            column.check_value(None)
+
+    def test_nullable_accepts_none(self):
+        assert Column("a", DataType.INT).check_value(None) is None
+
+    def test_varchar_length_enforced(self):
+        column = Column("a", DataType.VARCHAR, 3)
+        assert column.check_value("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            column.check_value("abcd")
+
+    def test_text_unbounded(self):
+        column = Column("a", DataType.TEXT)
+        assert column.check_value("x" * 10_000)
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            Column("a", DataType.BOOL).check_value(1)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", DataType.INT),
+                              Column("a", DataType.INT)))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", DataType.INT),),
+                        primary_key=("b",))
+
+    def test_column_index_and_lookup(self, people_schema):
+        assert people_schema.column_index("age") == 2
+        assert people_schema.column("name").max_length == 40
+        with pytest.raises(CatalogError):
+            people_schema.column_index("missing")
+
+    def test_check_row_length(self, people_schema):
+        with pytest.raises(TypeMismatchError):
+            people_schema.check_row((1, "x", 3))
+
+    def test_check_row_validates_types(self, people_schema):
+        row = people_schema.check_row((1, "x", 30, 1))
+        assert row == (1, "x", 30, 1.0)
+
+    def test_key_positions(self, people_schema):
+        assert people_schema.key_positions() == (0,)
+
+
+class TestIndexDef:
+    def test_requires_columns(self):
+        with pytest.raises(CatalogError):
+            IndexDef("i", "t", ())
+
+    def test_rejects_repeated_column(self):
+        with pytest.raises(CatalogError):
+            IndexDef("i", "t", ("a", "a"))
+
+    def test_covers(self):
+        index = IndexDef("i", "t", ("a", "b", "c"))
+        assert index.covers(["a"])
+        assert index.covers(["b", "a"])
+        assert not index.covers(["c"])
+
+
+class TestCatalog:
+    def make(self, people_schema):
+        catalog = Catalog()
+        catalog.create_table(people_schema)
+        return catalog
+
+    def test_create_and_lookup(self, people_schema):
+        catalog = self.make(people_schema)
+        assert catalog.has_table("PEOPLE")  # case-insensitive
+        assert catalog.table("people").schema is people_schema
+
+    def test_duplicate_table(self, people_schema):
+        catalog = self.make(people_schema)
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_table(people_schema)
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().table("nope")
+
+    def test_drop_table_removes_indexes(self, people_schema):
+        catalog = self.make(people_schema)
+        catalog.create_index(IndexDef("i_age", "people", ("age",)))
+        catalog.drop_table("people")
+        assert not catalog.has_index("i_age")
+
+    def test_index_unknown_column(self, people_schema):
+        catalog = self.make(people_schema)
+        with pytest.raises(UnknownObjectError):
+            catalog.create_index(IndexDef("i", "people", ("missing",)))
+
+    def test_index_on_unknown_table(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().create_index(IndexDef("i", "nope", ("a",)))
+
+    def test_duplicate_index(self, people_schema):
+        catalog = self.make(people_schema)
+        catalog.create_index(IndexDef("i", "people", ("age",)))
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_index(IndexDef("i", "people", ("name",)))
+
+    def test_indexes_on_filters_virtual(self, people_schema):
+        catalog = self.make(people_schema)
+        catalog.create_index(IndexDef("real", "people", ("age",)))
+        catalog.create_index(IndexDef("virt", "people", ("name",),
+                                      virtual=True))
+        real_only = catalog.indexes_on("people")
+        assert [i.name for i in real_only] == ["real"]
+        both = catalog.indexes_on("people", include_virtual=True)
+        assert {i.name for i in both} == {"real", "virt"}
+
+    def test_drop_index(self, people_schema):
+        catalog = self.make(people_schema)
+        catalog.create_index(IndexDef("i", "people", ("age",)))
+        catalog.drop_index("i")
+        assert not catalog.has_index("i")
+        assert catalog.indexes_on("people") == ()
+
+    def test_structure_default(self, people_schema):
+        catalog = self.make(people_schema)
+        assert catalog.table("people").structure is StorageStructure.HEAP

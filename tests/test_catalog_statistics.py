@@ -1,0 +1,114 @@
+"""Tests for histograms and column/table statistics."""
+
+import pytest
+
+from repro.catalog.statistics import (
+    TableStatistics,
+    build_histogram,
+    collect_column_statistics,
+)
+
+
+class TestHistogram:
+    def test_none_for_all_nulls(self):
+        assert build_histogram([None, None]) is None
+        assert build_histogram([]) is None
+
+    def test_equi_depth_buckets(self):
+        histogram = build_histogram(list(range(100)), buckets=10)
+        assert histogram.bucket_count == 10
+        assert histogram.rows_per_bucket == pytest.approx(10.0)
+
+    def test_selectivity_eq_uniform(self):
+        histogram = build_histogram(list(range(1000)), buckets=20)
+        sel = histogram.selectivity_eq(500)
+        assert sel == pytest.approx(1 / 1000, rel=0.5)
+
+    def test_selectivity_eq_out_of_range(self):
+        histogram = build_histogram(list(range(100)))
+        assert histogram.selectivity_eq(-5) == 0.0
+        assert histogram.selectivity_eq(1000) == 0.0
+
+    def test_selectivity_eq_skew(self):
+        values = [1] * 900 + list(range(2, 102))
+        histogram = build_histogram(values, buckets=10)
+        assert histogram.selectivity_eq(1) > histogram.selectivity_eq(50)
+
+    def test_range_selectivity_full(self):
+        histogram = build_histogram(list(range(100)))
+        assert histogram.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_range_selectivity_half(self):
+        histogram = build_histogram(list(range(1000)), buckets=20)
+        sel = histogram.selectivity_range(0, 499)
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_range_selectivity_open_bounds(self):
+        histogram = build_histogram(list(range(1000)), buckets=10)
+        low_half = histogram.selectivity_range(None, 250)
+        assert low_half == pytest.approx(0.25, abs=0.1)
+        high_half = histogram.selectivity_range(750, None)
+        assert high_half == pytest.approx(0.25, abs=0.1)
+
+    def test_range_outside_domain(self):
+        histogram = build_histogram(list(range(100)))
+        assert histogram.selectivity_range(200, 300) == 0.0
+
+    def test_string_histogram(self):
+        histogram = build_histogram([f"name{i:03d}" for i in range(100)])
+        sel = histogram.selectivity_range("name000", "name049")
+        assert 0.2 < sel < 0.8
+
+    def test_single_value(self):
+        histogram = build_histogram([7] * 50)
+        assert histogram.selectivity_eq(7) == pytest.approx(1.0)
+
+
+class TestColumnStatistics:
+    def test_basic_collection(self):
+        stats = collect_column_statistics("age", [10, 20, 20, None, 30])
+        assert stats.n_distinct == 3
+        assert stats.null_fraction == pytest.approx(0.2)
+        assert stats.min_value == 10
+        assert stats.max_value == 30
+
+    def test_empty_column(self):
+        stats = collect_column_statistics("a", [])
+        assert stats.n_distinct == 0
+        assert stats.histogram is None
+        assert stats.selectivity_eq(1) == 0.0
+
+    def test_selectivity_eq_null_uses_null_fraction(self):
+        stats = collect_column_statistics("a", [1, None, None, None])
+        assert stats.selectivity_eq(None) == pytest.approx(0.75)
+
+    def test_selectivity_eq_without_histogram(self):
+        stats = collect_column_statistics("a", [1, 2, 3, 4])
+        # histogram exists here; build stats manually without one
+        from repro.catalog.statistics import ColumnStatistics
+        bare = ColumnStatistics("a", n_distinct=4, null_fraction=0.0,
+                                min_value=1, max_value=4, histogram=None)
+        assert bare.selectivity_eq(2) == pytest.approx(0.25)
+
+
+class TestTableStatistics:
+    def test_staleness(self):
+        stats = TableStatistics(row_count=100, page_count=10,
+                                overflow_pages=0)
+        assert stats.staleness == 0.0
+        stats.rows_modified_since = 50
+        assert stats.staleness == pytest.approx(0.5)
+        stats.rows_modified_since = 500
+        assert stats.staleness == 1.0
+
+    def test_staleness_empty_table(self):
+        stats = TableStatistics(row_count=0, page_count=0, overflow_pages=0)
+        assert stats.staleness == 0.0
+        stats.rows_modified_since = 3
+        assert stats.staleness == 1.0
+
+    def test_column_lookup_case_insensitive(self):
+        stats = TableStatistics(row_count=1, page_count=1, overflow_pages=0)
+        stats.columns["age"] = collect_column_statistics("age", [1])
+        assert stats.column("AGE") is not None
+        assert stats.column("other") is None

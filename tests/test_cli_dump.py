@@ -1,0 +1,50 @@
+"""Tests for the shell's dump/restore commands."""
+
+import pytest
+
+from repro.cli import Shell
+
+
+@pytest.fixture
+def shell():
+    instance = Shell("dumpshell")
+    instance.handle("create table t (a int not null, primary key (a))")
+    instance.handle("insert into t values (1), (2), (3)")
+    yield instance
+    instance.close()
+
+
+class TestShellDumpRestore:
+    def test_dump_writes_file(self, shell, tmp_path):
+        target = tmp_path / "out.json"
+        output = shell.handle(f"\\dump {target}")
+        assert "dumped" in output
+        assert target.exists()
+
+    def test_restore_attaches_new_database(self, shell, tmp_path):
+        target = tmp_path / "out.json"
+        shell.handle(f"\\dump {target}")
+        output = shell.handle(f"\\restore {target}")
+        assert "restored as database" in output
+        # restored under a fresh name since 'dumpshell' exists
+        names = shell.setup.engine.database_names()
+        assert any(name.startswith("dumpshell_") for name in names)
+
+    def test_restored_data_matches(self, shell, tmp_path):
+        target = tmp_path / "out.json"
+        shell.handle(f"\\dump {target}")
+        shell.handle(f"\\restore {target}")
+        restored_name = next(
+            name for name in shell.setup.engine.database_names()
+            if name.startswith("dumpshell_"))
+        session = shell.setup.engine.connect(restored_name)
+        assert session.execute("select count(*) from t").scalar() == 3
+        session.close()
+
+    def test_usage_messages(self, shell):
+        assert "usage" in shell.handle("\\dump")
+        assert "usage" in shell.handle("\\restore")
+
+    def test_restore_missing_file(self, shell, tmp_path):
+        output = shell.handle(f"\\restore {tmp_path}/nope.json")
+        assert output.startswith("error:")

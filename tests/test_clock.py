@@ -1,0 +1,49 @@
+"""Tests for the clock abstraction."""
+
+import pytest
+
+from repro.clock import SystemClock, VirtualClock
+
+
+class TestSystemClock:
+    def test_now_is_epoch_scale(self):
+        assert SystemClock().now() > 1_500_000_000
+
+    def test_monotonic_moves_forward(self):
+        clock = SystemClock()
+        first = clock.monotonic()
+        second = clock.monotonic()
+        assert second >= first
+
+    def test_sleep_blocks(self):
+        clock = SystemClock()
+        before = clock.monotonic()
+        clock.sleep(0.01)
+        assert clock.monotonic() - before >= 0.009
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        clock = VirtualClock(start=42.0)
+        assert clock.now() == 42.0
+        assert clock.monotonic() == 42.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep(30.0)
+        assert clock.now() == 40.0
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_now_and_monotonic_share_reading(self):
+        clock = VirtualClock(start=7.0)
+        clock.advance(3.0)
+        assert clock.now() == clock.monotonic() == 10.0

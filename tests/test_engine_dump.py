@@ -1,0 +1,141 @@
+"""Tests for logical dump/restore (unloaddb/copydb)."""
+
+import pytest
+
+from repro.catalog.schema import IndexDef, StorageStructure
+from repro.engine.database import Database
+from repro.engine.dump import dump_database, load_database
+from repro.errors import StorageError
+from repro.workloads import NrefScale, load_nref
+
+
+@pytest.fixture
+def populated(people_schema):
+    database = Database("dumpme")
+    database.create_table(people_schema, main_pages=2)
+    for i in range(1, 101):
+        database.insert_row("people", (i, f"p{i}", 20 + i % 30, i * 1.5))
+    database.create_index(IndexDef("i_age", "people", ("age",)))
+    database.collect_statistics("people")
+    return database
+
+
+class TestDumpRestore:
+    def test_round_trip_rows(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        rows = dump_database(populated, path)
+        assert rows == 100
+        restored = load_database(path)
+        assert restored.name == "dumpme"
+        assert dict(restored.storage_for("people").scan()) == \
+            dict(populated.storage_for("people").scan())
+
+    def test_rowids_preserved(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        original = dict(populated.storage_for("people").scan())
+        for rowid, row in original.items():
+            assert restored.storage_for("people").fetch(rowid) == row
+
+    def test_structure_preserved(self, populated, tmp_path):
+        populated.modify_table("people", StorageStructure.BTREE)
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        entry = restored.catalog.table("people")
+        assert entry.structure is StorageStructure.BTREE
+        assert restored.storage_for("people").supports_prefix_access
+
+    def test_hash_structure_preserved(self, populated, tmp_path):
+        populated.modify_table("people", StorageStructure.HASH,
+                               main_pages=4)
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        assert restored.catalog.table("people").structure \
+            is StorageStructure.HASH
+        got = list(restored.storage_for("people").seek((42,)))
+        assert len(got) == 1
+
+    def test_indexes_rebuilt(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        assert restored.catalog.has_index("i_age")
+        index = restored.index_storage_for("i_age")
+        assert index.row_count == 100
+
+    def test_statistics_preserved(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        stats = restored.catalog.table("people").statistics
+        assert stats is not None
+        original = populated.catalog.table("people").statistics
+        assert stats.row_count == original.row_count
+        column = stats.column("age")
+        assert column.n_distinct == original.column("age").n_distinct
+        assert column.histogram is not None
+        assert column.histogram.boundaries == \
+            original.column("age").histogram.boundaries
+
+    def test_restore_compacts_overflow(self, populated, tmp_path):
+        # delete most rows: heap keeps the holes...
+        for rowid in list(range(1, 90)):
+            populated.delete_row("people", rowid)
+        pages_before = populated.storage_for("people").page_count
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        assert restored.storage_for("people").page_count < pages_before
+        assert restored.storage_for("people").row_count == 11
+
+    def test_virtual_tables_skipped_with_note(self, tmp_path):
+        from repro.setups import daemon_setup
+        setup = daemon_setup("withima")
+        session = setup.engine.connect("withima")
+        session.execute("create table t (a int)")
+        session.execute("insert into t values (1)")
+        path = tmp_path / "db.json"
+        dump_database(setup.engine.database("withima"), path)
+        import json
+        document = json.loads(path.read_text())
+        assert "ima_statements" in document["skipped_virtual_tables"]
+        restored = load_database(path)
+        assert restored.catalog.has_table("t")
+        assert not restored.catalog.has_table("ima_statements")
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_rename_on_load(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path, name="renamed")
+        assert restored.name == "renamed"
+
+    def test_nref_round_trip_with_nulls_and_text(self, tmp_path):
+        database = Database("nref")
+        load_nref(database, NrefScale(proteins=60))
+        path = tmp_path / "nref.json"
+        dump_database(database, path)
+        restored = load_database(path)
+        for table in ("protein", "sequence", "organism", "taxonomy",
+                      "source", "neighboring_seq"):
+            assert dict(restored.storage_for(table).scan()) == \
+                dict(database.storage_for(table).scan())
+
+    def test_restored_database_queryable(self, populated, tmp_path):
+        path = tmp_path / "db.json"
+        dump_database(populated, path)
+        restored = load_database(path)
+        from repro.engine import EngineInstance
+        engine = EngineInstance()
+        engine.attach_database(restored)
+        session = engine.connect("dumpme")
+        assert session.execute(
+            "select count(*) from people where age = 25").scalar() > 0

@@ -1,0 +1,134 @@
+"""Tests for the per-session plan cache and setup factories."""
+
+import pytest
+
+from repro.config import EngineConfig, MonitorConfig
+from repro.core.monitor import MonitorSensors
+from repro.core.sensors import NullSensors
+from repro.setups import daemon_setup, monitoring_setup, original_setup
+
+
+@pytest.fixture
+def cached_session(engine):
+    engine.create_database("pc")
+    session = engine.connect("pc")
+    session.execute("create table t (a int not null, b int, "
+                    "primary key (a))")
+    session.execute("insert into t values (1, 10), (2, 20), (3, 30)")
+    return session
+
+
+class TestPlanCache:
+    def test_repeated_select_hits_cache(self, cached_session):
+        for _ in range(4):
+            cached_session.execute("select b from t where a = 2")
+        assert cached_session.plan_cache_hits == 3
+        assert cached_session.plan_cache_misses == 1
+
+    def test_cached_plan_returns_fresh_data(self, cached_session):
+        assert cached_session.execute(
+            "select count(*) from t").scalar() == 3
+        cached_session.execute("insert into t values (4, 40)")
+        assert cached_session.execute(
+            "select count(*) from t").scalar() == 4  # cached plan, new data
+
+    def test_ddl_invalidates(self, cached_session):
+        cached_session.execute("select b from t where a = 2")
+        cached_session.execute("create index i_b on t (b)")
+        cached_session.execute("select b from t where a = 2")
+        assert cached_session.plan_cache_misses == 2
+
+    def test_statistics_invalidate(self, cached_session):
+        cached_session.execute("select b from t where a = 2")
+        cached_session.execute("create statistics on t")
+        cached_session.execute("select b from t where a = 2")
+        assert cached_session.plan_cache_misses == 2
+
+    def test_modify_invalidates(self, cached_session):
+        cached_session.execute("select b from t where a = 2")
+        cached_session.execute("modify t to btree")
+        result = cached_session.execute("select b from t where a = 2")
+        assert result.rows == [(20,)]
+        assert cached_session.plan_cache_misses == 2
+
+    def test_dml_not_cached(self, cached_session):
+        cached_session.execute("update t set b = b + 1 where a = 1")
+        cached_session.execute("update t set b = b + 1 where a = 1")
+        assert cached_session.plan_cache_hits == 0
+        assert cached_session.execute(
+            "select b from t where a = 1").scalar() == 12
+
+    def test_capacity_bounded(self, engine):
+        engine.create_database("pc2")
+        session = engine.connect("pc2")
+        session.execute("create table t (a int)")
+        capacity = engine.config.plan_cache_size
+        for i in range(capacity + 10):
+            session.execute(f"select a from t where a = {i}")
+        assert len(session._plan_cache) <= capacity
+
+    def test_disabled_by_config(self):
+        from repro.engine import EngineInstance
+        engine = EngineInstance(EngineConfig(plan_cache_size=0))
+        engine.create_database("pc3")
+        session = engine.connect("pc3")
+        session.execute("create table t (a int)")
+        session.execute("select a from t")
+        session.execute("select a from t")
+        assert session.plan_cache_hits == 0
+        assert session.plan_cache_misses == 0
+
+    def test_caches_are_per_session(self, engine, cached_session):
+        cached_session.execute("select b from t where a = 1")
+        other = engine.connect("pc")
+        other.execute("select b from t where a = 1")
+        assert other.plan_cache_misses == 1
+        assert other.plan_cache_hits == 0
+
+    def test_monitor_still_sees_cached_executions(self):
+        setup = monitoring_setup()
+        setup.engine.create_database("pc4")
+        session = setup.engine.connect("pc4")
+        session.execute("create table t (a int)")
+        for _ in range(5):
+            session.execute("select a from t")
+        from repro.core.sensors import statement_hash
+        record = setup.monitor.statements.get(
+            statement_hash("select a from t"))
+        assert record.frequency == 5
+
+
+class TestSetups:
+    def test_original_setup(self):
+        setup = original_setup()
+        assert setup.name == "original"
+        assert isinstance(setup.engine.sensors, NullSensors)
+        assert setup.monitor is None
+        assert setup.daemon is None
+
+    def test_monitoring_setup(self):
+        setup = monitoring_setup()
+        assert setup.name == "monitoring"
+        assert isinstance(setup.engine.sensors, MonitorSensors)
+        assert setup.engine.sensors.monitor is setup.monitor
+
+    def test_daemon_setup_wires_everything(self):
+        setup = daemon_setup("wired")
+        assert setup.name == "daemon"
+        assert setup.engine.has_database("wired")
+        assert setup.workload_db is not None
+        assert setup.daemon is not None
+        session = setup.engine.connect("wired")
+        assert session.execute(
+            "select count(*) from ima_statements").scalar() >= 0
+
+    def test_custom_config_respected(self):
+        config = EngineConfig(monitor=MonitorConfig(statement_buffer_size=7))
+        setup = monitoring_setup(config)
+        assert setup.monitor.config.statement_buffer_size == 7
+
+    def test_shared_clock(self, virtual_clock):
+        setup = daemon_setup("clocked", clock=virtual_clock)
+        assert setup.engine.clock is virtual_clock
+        assert setup.monitor.clock is virtual_clock
+        assert setup.workload_db.clock is virtual_clock

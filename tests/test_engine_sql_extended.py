@@ -1,0 +1,217 @@
+"""Tests for LEFT JOIN, subqueries and the EXPLAIN statement."""
+
+import pytest
+
+from repro.errors import ExecutionError, OptimizerError, ParseError, ReproError
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def orders_session(session):
+    session.execute("create table customer (id int not null, "
+                    "name varchar(20), primary key (id))")
+    session.execute("create table orders (id int not null, cust int, "
+                    "total int, primary key (id))")
+    session.execute("insert into customer values (1, 'ann'), (2, 'bob'), "
+                    "(3, 'cyd')")
+    session.execute("insert into orders values (10, 1, 100), (11, 1, 50), "
+                    "(12, 2, 75), (13, 99, 10), (14, null, 5)")
+    return session
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_null_padded(self, orders_session):
+        result = orders_session.execute(
+            "select c.name, o.total from customer c "
+            "left join orders o on c.id = o.cust order by c.id, o.id")
+        assert result.rows == [
+            ("ann", 100), ("ann", 50), ("bob", 75), ("cyd", None)]
+
+    def test_left_outer_keyword(self, orders_session):
+        result = orders_session.execute(
+            "select count(*) from customer c "
+            "left outer join orders o on c.id = o.cust")
+        assert result.scalar() == 4
+
+    def test_anti_join_pattern(self, orders_session):
+        result = orders_session.execute(
+            "select c.name from customer c "
+            "left join orders o on c.id = o.cust where o.id is null")
+        assert result.rows == [("cyd",)]
+
+    def test_where_applies_after_join(self, orders_session):
+        # WHERE o.total > 60 eliminates the NULL-padded rows too
+        result = orders_session.execute(
+            "select c.name from customer c "
+            "left join orders o on c.id = o.cust where o.total > 60 "
+            "order by c.name")
+        assert result.rows == [("ann",), ("bob",)]
+
+    def test_null_join_keys_never_match(self, orders_session):
+        result = orders_session.execute(
+            "select count(*) from orders o "
+            "left join customer c on o.cust = c.id where c.id is null")
+        assert result.scalar() == 2  # cust=99 and cust=NULL
+
+    def test_non_equi_left_join(self, orders_session):
+        result = orders_session.execute(
+            "select c.id, o.id from customer c "
+            "left join orders o on o.total > 70 and c.id = o.cust "
+            "order by c.id")
+        assert result.rows == [(1, 10), (2, 12), (3, None)]
+
+    def test_chained_left_joins(self, orders_session):
+        orders_session.execute(
+            "create table shipment (order_id int, carrier varchar(8))")
+        orders_session.execute(
+            "insert into shipment values (10, 'dhl')")
+        result = orders_session.execute(
+            "select c.name, o.id, s.carrier from customer c "
+            "left join orders o on c.id = o.cust "
+            "left join shipment s on o.id = s.order_id "
+            "order by c.id, o.id")
+        assert ("ann", 10, "dhl") in result.rows
+        assert ("cyd", None, None) in result.rows
+
+    def test_mixed_inner_then_left(self, orders_session):
+        result = orders_session.execute(
+            "select c.name, o.id from customer c "
+            "join orders o on c.id = o.cust "
+            "left join customer c2 on o.total = c2.id "
+            "order by o.id")
+        assert len(result.rows) == 3  # inner join shrinks first
+
+    def test_aggregation_over_left_join(self, orders_session):
+        result = orders_session.execute(
+            "select c.name, count(o.id) from customer c "
+            "left join orders o on c.id = o.cust "
+            "group by c.name order by c.name")
+        assert result.rows == [("ann", 2), ("bob", 1), ("cyd", 0)]
+
+    def test_explain_shows_outer_join(self, orders_session):
+        text = orders_session.explain(
+            "select c.name from customer c "
+            "left join orders o on c.id = o.cust")
+        assert "LeftOuterJoin" in text
+
+
+class TestSubqueries:
+    def test_scalar_in_comparison(self, orders_session):
+        result = orders_session.execute(
+            "select id from orders where total = "
+            "(select max(total) from orders)")
+        assert result.rows == [(10,)]
+
+    def test_scalar_in_select_list(self, orders_session):
+        result = orders_session.execute(
+            "select (select count(*) from orders)")
+        assert result.scalar() == 5
+
+    def test_in_subquery(self, orders_session):
+        result = orders_session.execute(
+            "select name from customer where id in "
+            "(select cust from orders) order by name")
+        assert result.rows == [("ann",), ("bob",)]
+
+    def test_not_in_subquery_with_null_is_empty(self, orders_session):
+        # NOT IN over a set containing NULL matches nothing (SQL)
+        result = orders_session.execute(
+            "select count(*) from customer where id not in "
+            "(select cust from orders)")
+        assert result.scalar() == 0
+
+    def test_not_in_subquery_without_nulls(self, orders_session):
+        result = orders_session.execute(
+            "select name from customer where id not in "
+            "(select cust from orders where cust is not null)")
+        assert result.rows == [("cyd",)]
+
+    def test_empty_in_subquery(self, orders_session):
+        result = orders_session.execute(
+            "select count(*) from customer where id in "
+            "(select cust from orders where total > 10000)")
+        assert result.scalar() == 0
+
+    def test_empty_not_in_subquery_matches_all(self, orders_session):
+        result = orders_session.execute(
+            "select count(*) from customer where id not in "
+            "(select cust from orders where total > 10000)")
+        assert result.scalar() == 3
+
+    def test_scalar_subquery_zero_rows_is_null(self, orders_session):
+        result = orders_session.execute(
+            "select count(*) from customer where id = "
+            "(select cust from orders where total > 10000)")
+        assert result.scalar() == 0
+
+    def test_scalar_subquery_multiple_rows_rejected(self, orders_session):
+        with pytest.raises(ExecutionError):
+            orders_session.execute(
+                "select id from customer where id = "
+                "(select cust from orders)")
+
+    def test_multi_column_subquery_rejected(self, orders_session):
+        with pytest.raises(ExecutionError):
+            orders_session.execute(
+                "select id from customer where id in "
+                "(select id, cust from orders)")
+
+    def test_correlated_subquery_rejected(self, orders_session):
+        with pytest.raises((OptimizerError, ReproError)):
+            orders_session.execute(
+                "select name from customer c where c.id = "
+                "(select max(cust) from orders where cust = c.id)")
+
+    def test_nested_subqueries(self, orders_session):
+        result = orders_session.execute(
+            "select name from customer where id in "
+            "(select cust from orders where total = "
+            "(select max(total) from orders))")
+        assert result.rows == [("ann",)]
+
+    def test_update_with_subquery(self, orders_session):
+        orders_session.execute(
+            "update orders set total = 0 where total < "
+            "(select avg(total) from orders)")
+        result = orders_session.execute(
+            "select count(*) from orders where total = 0")
+        assert result.scalar() == 2  # totals 10 and 5 were below avg (48)
+
+    def test_delete_with_subquery(self, orders_session):
+        orders_session.execute(
+            "delete from orders where total = (select min(total) from orders)")
+        assert orders_session.execute(
+            "select count(*) from orders").scalar() == 4
+
+    def test_subquery_statements_not_plan_cached(self, orders_session):
+        sql = ("select id from orders where total = "
+               "(select max(total) from orders)")
+        assert orders_session.execute(sql).rows == [(10,)]
+        orders_session.execute("insert into orders values (20, 3, 9999)")
+        assert orders_session.execute(sql).rows == [(20,)]
+
+    def test_subquery_inside_plain_in_list_mix(self, orders_session):
+        result = orders_session.execute(
+            "select count(*) from orders where total between "
+            "(select min(total) from orders) and 75")
+        assert result.scalar() == 4  # 5, 10, 50, 75
+
+
+class TestExplainStatement:
+    def test_explain_returns_plan_rows(self, orders_session):
+        result = orders_session.execute(
+            "explain select * from orders where id = 10")
+        assert result.columns == ("plan",)
+        text = "\n".join(row[0] for row in result.rows)
+        assert "Project" in text
+
+    def test_explain_does_not_execute(self, orders_session):
+        before = orders_session.execute(
+            "select count(*) from orders").scalar()
+        orders_session.execute("explain select count(*) from orders")
+        assert orders_session.execute(
+            "select count(*) from orders").scalar() == before
+
+    def test_explain_rejects_dml(self, orders_session):
+        with pytest.raises(ParseError):
+            parse_statement("explain delete from orders")

@@ -1,0 +1,132 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("SELECT select SeLeCt") == ["select"] * 3
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "mytable"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "weird name"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+    def test_underscore_identifier(self):
+        assert values("nref_id _x a1") == ["nref_id", "_x", "a1"]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == 3.25
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == 0.5
+
+    def test_scientific_notation(self):
+        token = tokenize("1e3")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == 1000.0
+
+    def test_scientific_with_sign(self):
+        token = tokenize("2.5e-2")[0]
+        assert token.value == pytest.approx(0.025)
+
+    def test_integer_then_dot_then_ident_is_qualified_ref(self):
+        # "t.a" must not lex the dot into a number
+        tokens = tokenize("t.a")
+        assert [t.value for t in tokens[:-1]] == ["t", ".", "a"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_string_keeps_case(self):
+        assert tokenize("'MiXeD'")[0].value == "MiXeD"
+
+
+class TestOperatorsAndComments:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "=", "<", ">",
+                                    "+", "-", "*", "/", "%"])
+    def test_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_two_char_operators_win(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_line_comment_skipped(self):
+        assert values("select -- comment here\n 1") == ["select", 1]
+
+    def test_comment_at_end_of_input(self):
+        assert values("select 1 -- trailing") == ["select", 1]
+
+    def test_punctuation(self):
+        assert values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+    def test_invalid_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("select @")
+        assert excinfo.value.position == 7
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.is_keyword("select")
+        assert token.is_keyword("select", "insert")
+        assert not token.is_keyword("insert")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,214 @@
+"""Tests for the B+Tree storage structure."""
+
+import random
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, TableSchema
+from repro.errors import StorageError
+from repro.storage.btree import BTreeStorage
+
+
+@pytest.fixture
+def schema():
+    return TableSchema("t", (
+        Column("k", DataType.INT, nullable=False),
+        Column("v", DataType.VARCHAR, 60),
+    ))
+
+
+@pytest.fixture
+def tree(schema, disk, pool):
+    return BTreeStorage(schema, ("k",), disk, pool, unique=True)
+
+
+@pytest.fixture
+def dup_tree(schema, disk, pool):
+    return BTreeStorage(schema, ("k",), disk, pool, unique=False)
+
+
+class TestBasics:
+    def test_requires_key_columns(self, schema, disk, pool):
+        with pytest.raises(StorageError):
+            BTreeStorage(schema, (), disk, pool)
+
+    def test_insert_and_seek(self, tree):
+        tree.insert(1, (10, "a"))
+        tree.insert(2, (20, "b"))
+        assert [row for _rid, row in tree.seek((10,))] == [(10, "a")]
+        assert list(tree.seek((15,))) == []
+
+    def test_unique_violation(self, tree):
+        tree.insert(1, (10, "a"))
+        with pytest.raises(StorageError):
+            tree.insert(2, (10, "dup"))
+
+    def test_duplicates_allowed_when_not_unique(self, dup_tree):
+        dup_tree.insert(1, (10, "a"))
+        dup_tree.insert(2, (10, "b"))
+        assert len(list(dup_tree.seek((10,)))) == 2
+
+    def test_fetch_by_rowid(self, tree):
+        tree.insert(7, (70, "x"))
+        assert tree.fetch(7) == (70, "x")
+        with pytest.raises(StorageError):
+            tree.fetch(99)
+
+    def test_duplicate_rowid_rejected(self, tree):
+        tree.insert(1, (10, "a"))
+        with pytest.raises(StorageError):
+            tree.insert(1, (20, "b"))
+
+
+class TestScale:
+    def test_many_inserts_stay_sorted(self, tree, pool):
+        keys = list(range(2000))
+        random.Random(5).shuffle(keys)
+        for i, key in enumerate(keys, start=1):
+            tree.insert(i, (key, f"v{key}"))
+        assert tree.row_count == 2000
+        assert tree.height >= 2
+        scanned = [row[0] for _rid, row in tree.scan()]
+        assert scanned == sorted(scanned) == list(range(2000))
+        # survives cache eviction + reload
+        pool.clear()
+        assert [row[0] for _rid, row in tree.scan()] == list(range(2000))
+
+    def test_range_scan(self, tree):
+        for i in range(500):
+            tree.insert(i + 1, (i, f"v{i}"))
+        got = [row[0] for _rid, row in tree.scan_range((100,), (110,))]
+        assert got == list(range(100, 111))
+
+    def test_range_scan_exclusive_bounds(self, tree):
+        for i in range(50):
+            tree.insert(i + 1, (i, "v"))
+        got = [row[0] for _rid, row in tree.scan_range(
+            (10,), (20,), lo_inclusive=False, hi_inclusive=False)]
+        assert got == list(range(11, 20))
+
+    def test_range_scan_open_bounds(self, tree):
+        for i in range(20):
+            tree.insert(i + 1, (i, "v"))
+        assert len(list(tree.scan_range(None, (5,)))) == 6
+        assert len(list(tree.scan_range((15,), None))) == 5
+        assert len(list(tree.scan_range(None, None))) == 20
+
+    def test_duplicate_runs_across_splits(self, dup_tree, pool):
+        rng = random.Random(9)
+        expected: dict[int, list[int]] = {}
+        for rid in range(1, 3000):
+            key = rng.randrange(20)
+            dup_tree.insert(rid, (key, "x" * 40))
+            expected.setdefault(key, []).append(rid)
+        pool.clear()
+        for key, rids in expected.items():
+            got = sorted(rid for rid, _row in dup_tree.seek((key,)))
+            assert got == rids
+
+
+class TestCompositeAndNullKeys:
+    @pytest.fixture
+    def multi(self, disk, pool):
+        schema = TableSchema("m", (
+            Column("a", DataType.INT),
+            Column("b", DataType.VARCHAR, 20),
+            Column("v", DataType.INT),
+        ))
+        return BTreeStorage(schema, ("a", "b"), disk, pool)
+
+    def test_prefix_seek(self, multi):
+        multi.insert(1, (1, "x", 100))
+        multi.insert(2, (1, "y", 200))
+        multi.insert(3, (2, "x", 300))
+        assert len(list(multi.seek((1,)))) == 2
+        assert len(list(multi.seek((1, "y")))) == 1
+
+    def test_nulls_sort_first(self, multi):
+        multi.insert(1, (None, "a", 1))
+        multi.insert(2, (0, "a", 2))
+        multi.insert(3, (None, None, 3))
+        keys = [(row[0], row[1]) for _rid, row in multi.scan()]
+        assert keys[0] == (None, None)
+        assert keys[1] == (None, "a")
+        assert keys[2] == (0, "a")
+
+    def test_prefix_range_on_composite(self, multi):
+        for i in range(100):
+            multi.insert(i + 1, (i % 10, f"s{i}", i))
+        got = list(multi.scan_range((3,), (4,)))
+        assert all(row[0] in (3, 4) for _rid, row in got)
+        assert len(got) == 20
+
+
+class TestMutation:
+    def test_delete(self, tree):
+        for i in range(100):
+            tree.insert(i + 1, (i, "v"))
+        tree.delete(51)
+        assert tree.row_count == 99
+        assert list(tree.seek((50,))) == []
+        with pytest.raises(StorageError):
+            tree.delete(51)
+
+    def test_update_same_key(self, tree):
+        tree.insert(1, (10, "old"))
+        tree.update(1, (10, "new"))
+        assert tree.fetch(1) == (10, "new")
+        assert tree.row_count == 1
+
+    def test_update_key_change_moves_entry(self, tree):
+        tree.insert(1, (10, "a"))
+        tree.update(1, (99, "a"))
+        assert list(tree.seek((10,))) == []
+        assert [row for _rid, row in tree.seek((99,))] == [(99, "a")]
+        assert tree.fetch(1) == (99, "a")
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self, schema, disk, pool):
+        tree = BTreeStorage(schema, ("k",), disk, pool, unique=True)
+        entries = [(i + 1, (i, f"v{i}")) for i in range(5000)]
+        random.Random(3).shuffle(entries)
+        tree.bulk_load(entries)
+        assert tree.row_count == 5000
+        assert tree.height >= 2
+        pool.clear()
+        assert [row[0] for _rid, row in tree.scan()] == list(range(5000))
+        assert [row for _rid, row in tree.seek((1234,))] == [(1234, "v1234")]
+
+    def test_bulk_load_detects_duplicates(self, schema, disk, pool):
+        tree = BTreeStorage(schema, ("k",), disk, pool, unique=True)
+        with pytest.raises(StorageError):
+            tree.bulk_load([(1, (5, "a")), (2, (5, "b"))])
+
+    def test_bulk_load_requires_empty(self, tree):
+        tree.insert(1, (1, "a"))
+        with pytest.raises(StorageError):
+            tree.bulk_load([(2, (2, "b"))])
+
+    def test_empty_bulk_load(self, schema, disk, pool):
+        tree = BTreeStorage(schema, ("k",), disk, pool)
+        tree.bulk_load([])
+        assert tree.row_count == 0
+        assert list(tree.scan()) == []
+
+    def test_inserts_after_bulk_load(self, schema, disk, pool):
+        tree = BTreeStorage(schema, ("k",), disk, pool, unique=True)
+        tree.bulk_load([(i + 1, (i * 2, "even")) for i in range(1000)])
+        for i in range(200):
+            tree.insert(10_000 + i, (i * 2 + 1, "odd"))
+        keys = [row[0] for _rid, row in tree.scan()]
+        assert keys == sorted(keys)
+        assert len(keys) == 1200
+
+    def test_drop(self, tree, disk):
+        for i in range(500):
+            tree.insert(i + 1, (i, "v"))
+        tree.drop()
+        assert tree.row_count == 0
+        assert disk.page_count == 0
+
+    def test_overflow_is_always_zero(self, tree):
+        assert tree.overflow_page_count == 0
+        assert tree.overflow_ratio == 0.0

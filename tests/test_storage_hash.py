@@ -1,0 +1,174 @@
+"""Tests for the HASH storage structure and its engine integration."""
+
+import pytest
+
+from repro.catalog.schema import Column, DataType, StorageStructure, TableSchema
+from repro.errors import StorageError
+from repro.optimizer import plans
+from repro.storage.hash import HashStorage, stable_hash
+
+
+@pytest.fixture
+def schema():
+    return TableSchema("t", (
+        Column("k", DataType.INT, nullable=False),
+        Column("v", DataType.VARCHAR, 60),
+    ))
+
+
+@pytest.fixture
+def table(schema, disk, pool):
+    return HashStorage(schema, ("k",), disk, pool, buckets=4)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash((1, "x")) == stable_hash((1, "x"))
+
+    def test_value_types(self):
+        keys = [(1,), (1.5,), ("a",), (True,), (False,), (None,), (0,)]
+        hashes = [stable_hash(k) for k in keys]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_order_matters(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+
+class TestHashStorage:
+    def test_requires_key_and_buckets(self, schema, disk, pool):
+        with pytest.raises(StorageError):
+            HashStorage(schema, (), disk, pool)
+        with pytest.raises(StorageError):
+            HashStorage(schema, ("k",), disk, pool, buckets=0)
+
+    def test_insert_and_seek(self, table):
+        for i in range(100):
+            table.insert(i + 1, (i, f"v{i}"))
+        assert [row for _rid, row in table.seek((42,))] == [(42, "v42")]
+        assert list(table.seek((9999,))) == []
+
+    def test_seek_requires_full_key(self, disk, pool):
+        schema = TableSchema("m", (
+            Column("a", DataType.INT), Column("b", DataType.INT),
+            Column("v", DataType.INT),
+        ))
+        multi = HashStorage(schema, ("a", "b"), disk, pool)
+        multi.insert(1, (1, 2, 3))
+        with pytest.raises(StorageError):
+            list(multi.seek((1,)))
+        assert len(list(multi.seek((1, 2)))) == 1
+
+    def test_duplicates_within_bucket(self, table):
+        table.insert(1, (7, "first"))
+        table.insert(2, (7, "second"))
+        assert len(list(table.seek((7,)))) == 2
+
+    def test_unique_enforced(self, schema, disk, pool):
+        unique = HashStorage(schema, ("k",), disk, pool, unique=True)
+        unique.insert(1, (5, "a"))
+        with pytest.raises(StorageError):
+            unique.insert(2, (5, "b"))
+
+    def test_overflow_chains_grow(self, table):
+        for i in range(2000):
+            table.insert(i + 1, (i, "x" * 40))
+        assert table.page_count > 4
+        assert table.overflow_page_count == table.page_count - 4
+        assert table.overflow_ratio > 0.5
+        assert table.average_chain_length > 1.0
+
+    def test_scan_covers_all_buckets(self, table):
+        for i in range(500):
+            table.insert(i + 1, (i, "v"))
+        assert sorted(row[0] for _rid, row in table.scan()) == list(range(500))
+
+    def test_delete_and_update(self, table):
+        table.insert(1, (10, "a"))
+        table.insert(2, (20, "b"))
+        table.update(1, (10, "changed"))
+        assert table.fetch(1) == (10, "changed")
+        table.update(2, (99, "moved"))  # key change moves buckets
+        assert [row for _rid, row in table.seek((99,))] == [(99, "moved")]
+        assert list(table.seek((20,))) == []
+        table.delete(1)
+        assert table.row_count == 1
+        with pytest.raises(StorageError):
+            table.fetch(1)
+
+    def test_survives_cache_eviction(self, table, pool):
+        for i in range(1500):
+            table.insert(i + 1, (i, "x" * 30))
+        pool.clear()
+        assert len(list(table.seek((777,)))) == 1
+        assert table.row_count == 1500
+
+    def test_drop_frees_pages(self, table, disk):
+        for i in range(200):
+            table.insert(i + 1, (i, "v"))
+        table.drop()
+        assert table.row_count == 0
+        assert disk.page_count == 0
+
+    def test_bulk_load(self, schema, disk, pool):
+        fresh = HashStorage(schema, ("k",), disk, pool, buckets=8)
+        fresh.bulk_load((i + 1, (i, "v")) for i in range(300))
+        assert fresh.row_count == 300
+        assert len(list(fresh.seek((150,)))) == 1
+
+
+class TestHashThroughEngine:
+    def test_create_table_with_hash_structure(self, session):
+        session.execute(
+            "create table h (id int not null, v varchar(10), "
+            "primary key (id)) with structure = hash, main_pages = 4")
+        values = ", ".join(f"({i}, 'v{i}')" for i in range(300))
+        session.execute(f"insert into h values {values}")
+        assert session.execute(
+            "select v from h where id = 77").rows == [("v77",)]
+
+    def test_modify_to_hash(self, people_session):
+        people_session.execute("modify people to hash with main_pages = 8")
+        db = people_session.database
+        assert db.catalog.table("people").structure is StorageStructure.HASH
+        result = people_session.execute(
+            "select name from people where id = 42")
+        assert result.rows == [("person42",)]
+        # row volume preserved
+        assert people_session.execute(
+            "select count(*) from people").scalar() == 200
+
+    def test_optimizer_picks_hash_probe(self, people_session):
+        people_session.execute("modify people to hash")
+        people_session.execute("create statistics on people")
+        text = people_session.explain("select name from people where id = 3")
+        assert "HashScan" in text
+
+    def test_hash_probe_not_used_for_ranges(self, people_session):
+        people_session.execute("modify people to hash")
+        text = people_session.explain(
+            "select name from people where id > 190")
+        assert "HashScan" not in text  # ranges need a scan
+
+    def test_hash_lookup_join(self, people_session):
+        people_session.execute("create table ref (pid int, note varchar(10))")
+        values = ", ".join(f"({i % 50}, 'n{i}')" for i in range(100))
+        people_session.execute(f"insert into ref values {values}")
+        people_session.execute("modify people to hash")
+        people_session.execute("create statistics on people")
+        people_session.execute("create statistics on ref")
+        result = people_session.execute(
+            "select count(*) from ref r join people p on r.pid = p.id")
+        assert result.scalar() == sum(1 for i in range(100)
+                                      if 1 <= i % 50 <= 200)
+
+    def test_overflow_rule_fires_for_hash(self, fresh_nref_setup):
+        from repro.core.analyzer.rules import run_rules
+        from repro.core.analyzer.workload_view import view_from_monitor
+        setup = fresh_nref_setup
+        session = setup.engine.connect("nref")
+        session.execute("modify protein to hash with main_pages = 2")
+        session.execute("select count(*) from protein")
+        view = view_from_monitor(setup.monitor,
+                                 setup.engine.database("nref"))
+        findings = run_rules(view)
+        assert "protein" in findings.overflow_tables
