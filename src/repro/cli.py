@@ -266,9 +266,18 @@ def repl(shell: Shell, stdin=None, stdout=None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # `repro lint [paths]` — static analysis entry point; imported
+        # lazily so the shell never pays for the analyzer.
+        from repro.staticcheck.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-shell",
-        description="SQL + monitoring shell over the repro engine")
+        description="SQL + monitoring shell over the repro engine "
+                    "(use `lint` as the first argument for static "
+                    "analysis)")
     parser.add_argument("--database", default="shell",
                         help="database name to create and connect to")
     parser.add_argument("--execute", action="append", default=[],

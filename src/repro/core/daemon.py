@@ -10,6 +10,15 @@ the seven-day retention purge.
 
 ``poll_once``/``flush`` are public so tests and benchmarks can drive
 the daemon deterministically; ``start``/``stop`` run it as a thread.
+Because the poll loop runs on a background thread while ``stop()``,
+tests and the shell's ``\\daemon`` command call in from the foreground,
+all cross-thread bookkeeping (pending batches, per-table high-water
+sequence numbers, counters) is guarded by ``self._lock``; the
+annotations are enforced by ``repro.staticcheck``'s lock-discipline
+rule.  A failed poll never kills the daemon, but it is never silent
+either: expected failures (engine errors, disk errors on flush) are
+counted in ``poll_failures`` with the message kept in
+``last_poll_error``.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from typing import TYPE_CHECKING
 from repro.clock import Clock
 from repro.config import DaemonConfig
 from repro.core.workload_db import TABLE_SOURCES, WorkloadDatabase
-from repro.errors import MonitorError
+from repro.errors import MonitorError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import EngineInstance
@@ -50,18 +59,21 @@ class StorageDaemon:
         self.config = config or engine.config.daemon
         self.clock: Clock = engine.clock
         self._session: "Session | None" = None
-        self._last_seq: dict[str, int] = {
+        self._lock = threading.Lock()
+        self._last_seq: dict[str, int] = {  # staticcheck: shared(_lock)
             source: 0 for source in TABLE_SOURCES.values()
         }
-        self._pending: dict[str, list[tuple]] = {
+        self._pending: dict[str, list[tuple]] = {  # staticcheck: shared(_lock)
             table: [] for table in TABLE_SOURCES
         }
-        self._polls_since_flush = 0
+        self._polls_since_flush = 0  # staticcheck: shared(_lock)
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        self.total_polls = 0
-        self.total_rows_flushed = 0
-        self.total_rows_purged = 0
+        self.total_polls = 0  # staticcheck: shared(_lock)
+        self.total_rows_flushed = 0  # staticcheck: shared(_lock)
+        self.total_rows_purged = 0  # staticcheck: shared(_lock)
+        self.poll_failures = 0  # staticcheck: shared(_lock)
+        self.last_poll_error: str | None = None  # staticcheck: shared(_lock)
 
     # -- polling ------------------------------------------------------------
 
@@ -73,24 +85,38 @@ class StorageDaemon:
     def poll_once(self) -> PollStats:
         """One wake-up: read new IMA rows; flush if the batch is due."""
         session = self._ensure_session()
+        with self._lock:
+            high_water = dict(self._last_seq)
+        # The SQL round trips run without the daemon lock held — a poll
+        # must never block a foreground flush/stop on query execution.
+        batches: dict[str, list[tuple]] = {}
         collected = 0
         for wl_table, ima_table in TABLE_SOURCES.items():
-            last = self._last_seq[ima_table]
+            last = high_water[ima_table]
             result = session.execute(
                 f"select * from {ima_table} where seq > {last}"
             )
+            rows: list[tuple] = []
             for row in result.rows:
                 seq = row[0]
+                if seq > high_water[ima_table]:
+                    high_water[ima_table] = seq
+                rows.append(tuple(row[1:]))
+                collected += 1
+            batches[wl_table] = rows
+        with self._lock:
+            for ima_table, seq in high_water.items():
                 if seq > self._last_seq[ima_table]:
                     self._last_seq[ima_table] = seq
-                self._pending[wl_table].append(tuple(row[1:]))
-                collected += 1
-        self.total_polls += 1
-        self._polls_since_flush += 1
+            for wl_table, rows in batches.items():
+                self._pending[wl_table].extend(rows)
+            self.total_polls += 1
+            self._polls_since_flush += 1
+            flush_due = self._polls_since_flush >= self.config.flush_every_polls
         flushed = False
         rows_flushed = 0
         rows_purged = 0
-        if self._polls_since_flush >= self.config.flush_every_polls:
+        if flush_due:
             rows_flushed, rows_purged = self.flush()
             flushed = True
         return PollStats(collected, flushed, rows_flushed, rows_purged)
@@ -101,22 +127,34 @@ class StorageDaemon:
         Returns (rows written, rows purged).
         """
         now = self.clock.now()
-        written = 0
-        for table, rows in self._pending.items():
-            if rows:
-                written += self.workload_db.append(table, rows, now)
+        with self._lock:
+            batches = {
+                table: rows[:] for table, rows in self._pending.items()
+                if rows
+            }
+            for rows in self._pending.values():
                 rows.clear()
+            self._polls_since_flush = 0
+        written = 0
+        for table, rows in batches.items():
+            written += self.workload_db.append(table, rows, now)
         purged = self.workload_db.purge_older_than(
             now - self.config.retention_s)
         self.workload_db.flush()
-        self._polls_since_flush = 0
-        self.total_rows_flushed += written
-        self.total_rows_purged += purged
+        with self._lock:
+            self.total_rows_flushed += written
+            self.total_rows_purged += purged
         return written, purged
 
     @property
     def pending_rows(self) -> int:
-        return sum(len(rows) for rows in self._pending.values())
+        with self._lock:
+            return sum(len(rows) for rows in self._pending.values())
+
+    def _record_failure(self, error: Exception) -> None:
+        with self._lock:
+            self.poll_failures += 1
+            self.last_poll_error = f"{type(error).__name__}: {error}"
 
     # -- background thread -------------------------------------------------------
 
@@ -146,6 +184,7 @@ class StorageDaemon:
         while not self._stop.wait(self.config.poll_interval_s):
             try:
                 self.poll_once()
-            except Exception:  # noqa: BLE001 - a poll failure must not
-                # kill the daemon; the next wake-up retries.
-                continue
+            except (ReproError, OSError) as error:
+                # A poll failure must not kill the daemon — the next
+                # wake-up retries — but it must not vanish either.
+                self._record_failure(error)

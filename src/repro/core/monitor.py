@@ -18,6 +18,7 @@ ablation benchmark toggles this flag.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Mapping, Sequence
 
@@ -62,9 +63,13 @@ class IntegratedMonitor:
             RingBuffer(self.config.statistics_buffer_size)
         self.plans: KeyedRingBuffer[int, PlanRecord] = \
             KeyedRingBuffer(self.config.plan_buffer_size)
-        self.sensor_calls = 0
-        self.sensor_time_s = 0.0
-        self._last_statistics_at = float("-inf")
+        # Sensors fire on every session thread, so the overhead
+        # accounting and the statistics rate limiter are guarded; the
+        # ring buffers above carry their own internal locks.
+        self._counter_lock = threading.Lock()
+        self.sensor_calls = 0  # staticcheck: shared(_counter_lock)
+        self.sensor_time_s = 0.0  # staticcheck: shared(_counter_lock)
+        self._last_statistics_at = float("-inf")  # staticcheck: shared(_counter_lock)
 
     # -- recording -------------------------------------------------------
 
@@ -142,9 +147,10 @@ class IntegratedMonitor:
                           now: float) -> bool:
         """Append a statistics sample, rate-limited so per-statement
         sampling does not flood the buffer."""
-        if now - self._last_statistics_at < STATISTICS_MIN_INTERVAL_S:
-            return False
-        self._last_statistics_at = now
+        with self._counter_lock:
+            if now - self._last_statistics_at < STATISTICS_MIN_INTERVAL_S:
+                return False
+            self._last_statistics_at = now
         known = {
             key: value for key, value in values.items()
             if key in StatisticsRecord.__dataclass_fields__
@@ -154,15 +160,30 @@ class IntegratedMonitor:
 
     # -- introspection ------------------------------------------------------
 
+    def note_sensor_call(self, elapsed_s: float) -> None:
+        """Account one sensor call's overhead (section V-A's per-call
+        measurement); called from every session thread."""
+        with self._counter_lock:
+            self.sensor_calls += 1
+            self.sensor_time_s += elapsed_s
+
+    def statistics_due(self, now: float) -> bool:
+        """Whether the rate limiter would admit a statistics sample at
+        ``now`` (advisory read; :meth:`record_statistics` re-checks
+        under the lock)."""
+        return now - self._last_statistics_at >= STATISTICS_MIN_INTERVAL_S
+
     @property
     def average_sensor_call_s(self) -> float:
-        if self.sensor_calls == 0:
-            return 0.0
-        return self.sensor_time_s / self.sensor_calls
+        with self._counter_lock:
+            if self.sensor_calls == 0:
+                return 0.0
+            return self.sensor_time_s / self.sensor_calls
 
     def reset_counters(self) -> None:
-        self.sensor_calls = 0
-        self.sensor_time_s = 0.0
+        with self._counter_lock:
+            self.sensor_calls = 0
+            self.sensor_time_s = 0.0
 
 
 class MonitorSensors(Sensors):
@@ -185,8 +206,7 @@ class MonitorSensors(Sensors):
         )
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self.monitor.sensor_calls += 1
-        self.monitor.sensor_time_s += elapsed
+        self.monitor.note_sensor_call(elapsed)
         return ctx
 
     def parse_complete(self, ctx: StatementContext | None, kind: str,
@@ -202,8 +222,7 @@ class MonitorSensors(Sensors):
             monitor.record_references(ctx.text_hash, table_names)
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        monitor.sensor_calls += 1
-        monitor.sensor_time_s += elapsed
+        monitor.note_sensor_call(elapsed)
 
     def optimize_complete(self, ctx: StatementContext | None,
                           estimated_io: float, estimated_cpu: float,
@@ -235,8 +254,7 @@ class MonitorSensors(Sensors):
                                     plan_supplier(), monitor.clock.now())
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        monitor.sensor_calls += 1
-        monitor.sensor_time_s += elapsed
+        monitor.note_sensor_call(elapsed)
 
     def execute_complete(self, ctx: StatementContext | None,
                          actual_io: float, actual_cpu: float,
@@ -268,8 +286,7 @@ class MonitorSensors(Sensors):
         ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        monitor.sensor_calls += 1
-        monitor.sensor_time_s += elapsed
+        monitor.note_sensor_call(elapsed)
 
     def statement_error(self, ctx: StatementContext | None,
                         error: str) -> None:
@@ -298,17 +315,14 @@ class MonitorSensors(Sensors):
         ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self.monitor.sensor_calls += 1
-        self.monitor.sensor_time_s += elapsed
+        self.monitor.note_sensor_call(elapsed)
 
     def sample_statistics(self, supplier: Callable[[], Mapping[str, Any]],
                           ) -> None:
         monitor = self.monitor
         now = monitor.clock.now()
-        if now - monitor._last_statistics_at < STATISTICS_MIN_INTERVAL_S:
+        if not monitor.statistics_due(now):
             return
         t0 = time.perf_counter()
         monitor.record_statistics(supplier(), now)
-        elapsed = time.perf_counter() - t0
-        monitor.sensor_calls += 1
-        monitor.sensor_time_s += elapsed
+        monitor.note_sensor_call(time.perf_counter() - t0)

@@ -139,7 +139,7 @@ class StatisticsRecord:
     physical_reads: int = 0
     physical_writes: int = 0
 
-    def as_row(self) -> tuple:
+    def as_row(self) -> tuple[float | int, ...]:
         return (self.timestamp,) + tuple(
             getattr(self, name) for name in STATISTIC_FIELDS
         )

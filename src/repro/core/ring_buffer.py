@@ -33,10 +33,11 @@ class RingBuffer(Generic[T]):
             raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._items: list[tuple[int, T]] = []
-        self._start = 0  # physical index of the oldest element
-        self._next_seq = 1
-        self._dropped = 0
+        self._items: list[tuple[int, T]] = []  # staticcheck: shared(_lock)
+        # _start is the physical index of the oldest element.
+        self._start = 0  # staticcheck: shared(_lock)
+        self._next_seq = 1  # staticcheck: shared(_lock)
+        self._dropped = 0  # staticcheck: shared(_lock)
 
     def append(self, item: T) -> int:
         """Add ``item``; returns its sequence number.  Overwrites the
@@ -93,9 +94,10 @@ class KeyedRingBuffer(Generic[K, T]):
             raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._items: OrderedDict[K, tuple[int, T]] = OrderedDict()
-        self._next_seq = 1
-        self._evicted = 0
+        self._items: OrderedDict[K, tuple[int, T]] = \
+            OrderedDict()  # staticcheck: shared(_lock)
+        self._next_seq = 1  # staticcheck: shared(_lock)
+        self._evicted = 0  # staticcheck: shared(_lock)
 
     def get(self, key: K) -> T | None:
         with self._lock:

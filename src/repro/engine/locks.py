@@ -48,12 +48,15 @@ class LockManager:
         self.config = config or LockConfig()
         self._mutex = threading.Lock()
         self._granted = threading.Condition(self._mutex)
-        self._resources: dict[str, _Resource] = {}
-        self._held_by_txn: dict[int, set[str]] = {}
-        self._total_requests = 0
-        self._total_waits = 0
-        self._total_deadlocks = 0
-        self._total_timeouts = 0
+        # _granted wraps _mutex, so holding either guards the state.
+        self._resources: dict[str, _Resource] = \
+            {}  # staticcheck: shared(_granted, _mutex)
+        self._held_by_txn: dict[int, set[str]] = \
+            {}  # staticcheck: shared(_granted, _mutex)
+        self._total_requests = 0  # staticcheck: shared(_granted, _mutex)
+        self._total_waits = 0  # staticcheck: shared(_granted, _mutex)
+        self._total_deadlocks = 0  # staticcheck: shared(_granted, _mutex)
+        self._total_timeouts = 0  # staticcheck: shared(_granted, _mutex)
 
     # -- public API --------------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Project-specific static analysis for the monitoring core.
+
+The paper's design only works if the hot monitoring path stays correct
+and cheap *by construction*: sensors, ring buffers, the storage daemon
+and the lock manager all share mutable state across threads, every
+timestamp must flow through :mod:`repro.clock`, and no sensor may call
+back into the catalog.  ``repro.staticcheck`` is a small Python-``ast``
+analysis framework enforcing exactly those invariants:
+
+* **Lock discipline** (``LCK``) — attributes annotated
+  ``# staticcheck: shared(<lock>)`` may only be mutated inside a
+  ``with self.<lock>:`` block, in ``__init__``, or in a method
+  annotated ``# staticcheck: guarded-by(<lock>)``.
+* **Clock discipline** (``CLK``) — no ``time.time()`` /
+  ``datetime.now()`` style wall-clock calls outside ``clock.py``.
+* **Exception discipline** (``EXC``) — no bare ``except`` anywhere; no
+  broad ``except Exception`` that swallows errors in daemon, watchdog
+  or sensor paths.
+* **Sensor-overhead discipline** (``SNS``) — no catalog/engine/session
+  calls from inside sensor record paths.
+
+Run it as ``python -m repro.cli lint [paths]`` or through
+:func:`analyze_paths`.  Findings are suppressable per line with
+``# staticcheck: ignore[RULE1,RULE2]``.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.base import Rule, all_rules, register
+from repro.staticcheck.config import StaticcheckConfig, load_config
+from repro.staticcheck.driver import ModuleContext, analyze_paths
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.reporters import parse_json, render_json, render_text
+
+# Importing the rule modules registers their rules with the registry.
+from repro.staticcheck import rules_clock  # noqa: F401  (registration)
+from repro.staticcheck import rules_exceptions  # noqa: F401
+from repro.staticcheck import rules_locks  # noqa: F401
+from repro.staticcheck import rules_sensors  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "StaticcheckConfig",
+    "all_rules",
+    "analyze_paths",
+    "load_config",
+    "parse_json",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,83 @@
+"""Parsing of ``# staticcheck:`` source annotations.
+
+Annotations are ordinary comments attached to the line they govern:
+
+* ``# staticcheck: shared(_lock)`` — on an attribute assignment in
+  ``__init__``: the attribute is shared state guarded by
+  ``self._lock``.  Several locks may be listed
+  (``shared(_granted, _mutex)``) for the Condition-wrapping-a-Lock
+  idiom.
+* ``# staticcheck: guarded-by(_lock)`` — on (or directly above) a
+  ``def`` line: every caller of the method already holds the lock, so
+  mutations inside the body are considered guarded.
+* ``# staticcheck: ignore`` / ``# staticcheck: ignore[LCK001,CLK001]``
+  — suppress all / the listed findings reported for this line.
+
+Multiple directives on one line are separated by semicolons:
+``# staticcheck: shared(_lock); ignore[LCK002]``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+_COMMENT_RE = re.compile(r"#\s*staticcheck:\s*(?P<body>.+?)\s*$")
+_DIRECTIVE_RE = re.compile(
+    r"^(?P<name>[a-z-]+)\s*(?:[\(\[]\s*(?P<args>[^)\]]*)\s*[\)\]])?$"
+)
+
+KNOWN_DIRECTIVES = ("shared", "guarded-by", "ignore")
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed directive: ``name`` plus its argument tuple."""
+
+    name: str
+    args: tuple[str, ...]
+    line: int
+
+
+class AnnotationError(ValueError):
+    """A ``# staticcheck:`` comment that cannot be parsed."""
+
+
+def parse_annotations(source: str) -> dict[int, list[Directive]]:
+    """Extract directives from ``source``, keyed by 1-based line.
+
+    Uses :mod:`tokenize` so that ``# staticcheck:`` occurrences inside
+    string literals are not misread as annotations.
+    """
+    directives: dict[int, list[Directive]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return directives
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _COMMENT_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        for part in match.group("body").split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            parsed = _DIRECTIVE_RE.match(part)
+            if parsed is None or parsed.group("name") not in KNOWN_DIRECTIVES:
+                raise AnnotationError(
+                    f"line {line}: unrecognized staticcheck "
+                    f"directive {part!r}"
+                )
+            raw_args = parsed.group("args") or ""
+            args = tuple(
+                a.strip() for a in raw_args.split(",") if a.strip()
+            )
+            directives.setdefault(line, []).append(
+                Directive(parsed.group("name"), args, line))
+    return directives

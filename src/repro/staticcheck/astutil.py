@@ -1,0 +1,84 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def build_parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Map every node to its parent (identity-keyed via the node)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def dotted_segments(node: ast.expr) -> list[str] | None:
+    """``a.b.c(...)``'s func as ``["a", "b", "c"]``; None if not a plain
+    name/attribute chain (e.g. a subscript or call in the middle)."""
+    segments: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        segments.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    segments.append(current.id)
+    segments.reverse()
+    return segments
+
+
+def import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Local name -> fully qualified imported name, for the module.
+
+    ``import time as t`` maps ``t -> time``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                target = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never bring in stdlib time
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def self_attribute(node: ast.expr) -> str | None:
+    """Return ``attr`` when ``node`` is exactly ``self.<attr>``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST],
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """Nearest enclosing function/method definition, if any."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def ancestors(node: ast.AST,
+              parents: dict[ast.AST, ast.AST]) -> Iterator[ast.AST]:
+    """Yield parents from the immediate one up to the module."""
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)

@@ -1,0 +1,73 @@
+"""Rule base class and registry.
+
+A rule is a class with a stable ``rule_id``, a short ``summary`` and a
+``check`` method yielding :class:`Finding` objects for one module.
+Decorating it with :func:`register` adds it to the global registry the
+driver runs; :func:`all_rules` instantiates them in rule-id order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Type, TypeVar
+
+from repro.staticcheck.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.config import StaticcheckConfig
+    from repro.staticcheck.driver import ModuleContext
+
+
+class Rule(ABC):
+    """One invariant checked over a module's AST."""
+
+    rule_id: str = ""
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    @abstractmethod
+    def check(self, module: "ModuleContext",
+              config: "StaticcheckConfig") -> Iterable[Finding]:
+        """Yield findings for ``module``."""
+
+    def finding(self, module: "ModuleContext", line: int, column: int,
+                message: str,
+                severity: Severity | None = None) -> Finding:
+        """Build a finding for this rule at a location in ``module``."""
+        return Finding(
+            path=module.path,
+            line=line,
+            column=column,
+            rule_id=self.rule_id,
+            severity=severity or self.default_severity,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register(rule_class: R) -> R:
+    """Class decorator adding ``rule_class`` to the registry."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(
+            f"{rule_class.__name__} must define a non-empty rule_id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(
+            f"duplicate rule id {rule_id!r}: "
+            f"{existing.__name__} vs {rule_class.__name__}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by rule id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,91 @@
+"""``repro lint`` — one entry point for all static analysis.
+
+Runs the project-specific AST rules, then (in text mode) ruff and mypy
+when they are installed; environments without them just get a "skipped"
+note, so the custom analysis works from a bare checkout.
+
+Exit status: 0 when everything is clean, 1 on any finding or
+third-party tool failure, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.staticcheck.base import all_rules
+from repro.staticcheck.config import load_config
+from repro.staticcheck.driver import analyze_paths
+from repro.staticcheck.reporters import render_json, render_text
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def _run_tool(module: str, arguments: list[str]) -> int | None:
+    """Run an installed third-party checker; None when unavailable."""
+    if importlib.util.find_spec(module) is None:
+        return None
+    completed = subprocess.run(
+        [sys.executable, "-m", module, *arguments], check=False)
+    return completed.returncode
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-specific static analysis "
+                    "(+ ruff/mypy when installed)")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format",
+                        help="report format (json skips ruff/mypy)")
+    parser.add_argument("--skip-tools", action="store_true",
+                        help="run only the custom AST rules, "
+                             "never ruff/mypy")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    missing = [path for path in arguments.paths
+               if not Path(path).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    config = load_config(Path(arguments.paths[0]))
+    findings = analyze_paths(arguments.paths, config)
+
+    if arguments.output_format == "json":
+        print(render_json(findings))
+        return 1 if findings else 0
+
+    print(render_text(findings))
+    status = 1 if findings else 0
+
+    if not arguments.skip_tools:
+        for tool, tool_args in (
+            ("ruff", ["check", *arguments.paths]),
+            ("mypy", []),  # scope comes from [tool.mypy] files=...
+        ):
+            code = _run_tool(tool, tool_args)
+            if code is None:
+                print(f"{tool}: skipped (not installed)")
+            elif code != 0:
+                status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Analyzer configuration, with optional ``[tool.staticcheck]`` loading.
+
+Path options are :mod:`fnmatch` patterns matched against the analyzed
+file's POSIX path (``*`` crosses directory separators), so defaults
+like ``*repro/clock.py`` work whether the analyzer is given
+``src/repro`` or an absolute path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from fnmatch import fnmatch
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class StaticcheckConfig:
+    """Tunables of the project lint; defaults mirror ``pyproject.toml``."""
+
+    clock_allowed_paths: tuple[str, ...] = ("*repro/clock.py",)
+    """Modules allowed to call wall-clock primitives directly (the
+    single time source the CLK rules protect)."""
+
+    critical_except_paths: tuple[str, ...] = (
+        "*repro/core/daemon.py",
+        "*repro/core/watchdog.py",
+        "*repro/core/sensors.py",
+        "*repro/core/monitor.py",
+    )
+    """Modules where a swallowed broad ``except`` hides monitor data
+    loss (EXC002); bare ``except`` (EXC001) is banned everywhere."""
+
+    sensor_module_paths: tuple[str, ...] = (
+        "*repro/core/sensors.py",
+        "*repro/core/monitor.py",
+    )
+    """Modules holding sensor record paths (SNS001 scope)."""
+
+    sensor_banned_segments: tuple[str, ...] = (
+        "catalog",
+        "engine",
+        "session",
+        "execute",
+        "connect",
+        "storage_for",
+        "system_statistics",
+    )
+    """Call-chain segments that signal a catalog/engine round trip —
+    the paper's "no extra catalog lookups" rule for sensors."""
+
+    def path_matches(self, path: str, patterns: tuple[str, ...]) -> bool:
+        posix = Path(path).as_posix()
+        return any(fnmatch(posix, pattern) for pattern in patterns)
+
+
+def load_config(start: Path | str | None = None) -> StaticcheckConfig:
+    """Build the config, honouring ``[tool.staticcheck]`` if a
+    ``pyproject.toml`` is found at or above ``start`` (default: cwd).
+
+    Missing pyproject, missing section, or a Python without
+    :mod:`tomllib` all fall back to the built-in defaults.
+    """
+    defaults = StaticcheckConfig()
+    if tomllib is None:
+        return defaults
+    directory = Path(start) if start is not None else Path.cwd()
+    if directory.is_file():
+        directory = directory.parent
+    pyproject: Path | None = None
+    for candidate in (directory, *directory.parents):
+        probe = candidate / "pyproject.toml"
+        if probe.is_file():
+            pyproject = probe
+            break
+    if pyproject is None:
+        return defaults
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError):
+        return defaults
+    section = data.get("tool", {}).get("staticcheck", {})
+    if not isinstance(section, dict) or not section:
+        return defaults
+    known = {f.name for f in fields(StaticcheckConfig)}
+    overrides = {
+        key: tuple(str(item) for item in value)
+        for key, value in section.items()
+        if key in known and isinstance(value, list)
+    }
+    return StaticcheckConfig(**overrides)  # type: ignore[arg-type]

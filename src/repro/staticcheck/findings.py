@@ -1,0 +1,62 @@
+"""The finding/severity model shared by all rules and reporters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; any finding fails the lint gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    """Path of the offending file, as given to the analyzer."""
+
+    line: int
+    """1-based line of the offending node."""
+
+    column: int
+    """0-based column of the offending node."""
+
+    rule_id: str
+    """Stable identifier, e.g. ``LCK001``."""
+
+    severity: Severity
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def render(self) -> str:
+        """``path:line:col: RULE severity: message`` (one line)."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule_id} {self.severity}: {self.message}")
+
+    def to_dict(self) -> dict[str, object]:
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            column=int(data["column"]),  # type: ignore[arg-type]
+            rule_id=str(data["rule_id"]),
+            severity=Severity(data["severity"]),
+            message=str(data["message"]),
+        )

@@ -1,0 +1,48 @@
+"""Text and JSON rendering of findings (and JSON parsing back)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.staticcheck.findings import Finding
+
+JSON_VERSION = 1
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    if not findings:
+        return "staticcheck: no findings"
+    lines = [finding.render() for finding in findings]
+    by_rule = Counter(finding.rule_id for finding in findings)
+    breakdown = ", ".join(
+        f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
+    )
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"staticcheck: {len(findings)} {noun} ({breakdown})")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report; round-trips through :func:`parse_json`."""
+    return json.dumps(
+        {
+            "version": JSON_VERSION,
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Inverse of :func:`render_json`."""
+    data = json.loads(text)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError("not a staticcheck JSON report")
+    version = data.get("version")
+    if version != JSON_VERSION:
+        raise ValueError(f"unsupported staticcheck report version: "
+                         f"{version!r}")
+    return [Finding.from_dict(entry) for entry in data["findings"]]

@@ -1,0 +1,52 @@
+"""SNS — sensor-overhead discipline.
+
+The paper's sensors log "at the source": every value they record is
+already in hand when the sensor fires, so a sensor call costs 1–2 µs
+and *never* performs catalog lookups or issues queries.  ``SNS001``
+flags any call inside a sensor module whose attribute chain reaches
+for the catalog, the engine, or a session (``self.engine.connect``,
+``database.catalog.tables``, ``session.execute`` ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.staticcheck.astutil import dotted_segments
+from repro.staticcheck.base import Rule, register
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.driver import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+
+
+@register
+class SensorCatalogCallRule(Rule):
+    """SNS001 — catalog/engine round trip inside a sensor path."""
+
+    rule_id = "SNS001"
+    summary = ("sensors must log values already in hand — no catalog, "
+               "engine or session calls from record paths")
+    default_severity = Severity.ERROR
+
+    def check(self, module: ModuleContext,
+              config: StaticcheckConfig) -> Iterable[Finding]:
+        if not config.path_matches(module.path,
+                                   config.sensor_module_paths):
+            return
+        banned = set(config.sensor_banned_segments)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            segments = dotted_segments(node.func)
+            if not segments:
+                continue
+            hits = [s for s in segments if s in banned]
+            if hits:
+                chain = ".".join(segments)
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"sensor path calls {chain}() which goes through "
+                    f"{'/'.join(sorted(set(hits)))}; sensors must only "
+                    f"record values the engine already computed",
+                )

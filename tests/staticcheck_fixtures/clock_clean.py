@@ -1,0 +1,17 @@
+"""Fixture twin: durations via perf_counter, timestamps via a Clock."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()  # duration-only: allowed
+    fn()
+    return time.perf_counter() - start
+
+
+def stamp(clock):
+    return clock.now()  # the injected Clock is the single time source
+
+
+def nap(clock, seconds):
+    clock.sleep(seconds)

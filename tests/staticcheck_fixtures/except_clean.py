@@ -1,0 +1,16 @@
+"""Fixture twin: specific catches, and broad-catch-with-reraise."""
+
+
+def poll(fn, failures):
+    try:
+        fn()
+    except (ValueError, OSError) as error:
+        failures.append(str(error))
+
+
+def guard(fn, log):
+    try:
+        fn()
+    except Exception as error:
+        log.append(str(error))
+        raise

@@ -1,0 +1,15 @@
+"""Fixture: per-line suppression of a known finding."""
+
+import time
+
+
+def stamp_suppressed():
+    return time.time()  # staticcheck: ignore[CLK001]
+
+
+def stamp_all_suppressed():
+    return time.time()  # staticcheck: ignore
+
+
+def stamp_wrong_rule():
+    return time.time()  # staticcheck: ignore[LCK001]

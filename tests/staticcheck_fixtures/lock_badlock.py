@@ -1,0 +1,13 @@
+"""Fixture: annotations naming a lock the class never creates."""
+
+import threading
+
+
+class Typo:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # staticcheck: shared(_lokc)
+
+    # staticcheck: guarded-by(_mutex)
+    def reset(self):
+        pass

@@ -1,0 +1,26 @@
+"""Fixture twin: the same shape, every mutation guarded."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # staticcheck: shared(_lock)
+        self.events = []  # staticcheck: shared(_lock)
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def log(self, event):
+        with self._lock:
+            self.events.append(event)
+            self._unsafe_reset()
+
+    # staticcheck: guarded-by(_lock)
+    def _unsafe_reset(self):
+        self.count = 0
+
+    def peek(self):
+        return self.count  # reads are the caller's business

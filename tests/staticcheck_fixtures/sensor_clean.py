@@ -1,0 +1,9 @@
+"""Fixture twin: a sensor recording only values already in hand."""
+
+
+class QuietSensors:
+    def __init__(self, buffer):
+        self.buffer = buffer
+
+    def statement_start(self, text, table_names):
+        self.buffer.append((text, tuple(table_names)))

@@ -1,0 +1,12 @@
+"""Fixture: a sensor that performs catalog/engine round trips."""
+
+
+class ChattySensors:
+    def __init__(self, engine, session):
+        self.engine = engine
+        self.session = session
+
+    def statement_start(self, text):
+        tables = self.engine.catalog.tables()  # line 10: SNS001
+        self.session.execute("select 1")  # line 11: SNS001
+        return tables

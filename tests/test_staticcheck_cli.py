@@ -1,0 +1,50 @@
+"""In-process tests of the ``repro lint`` command line."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.staticcheck.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "staticcheck_fixtures"
+
+
+def test_lint_clean_path_exits_zero(capsys):
+    code = lint_main([str(FIXTURES / "clock_clean.py"), "--skip-tools"])
+    assert code == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_violations_exit_nonzero_with_locations(capsys):
+    code = lint_main([str(FIXTURES / "clock_violation.py"),
+                      "--skip-tools"])
+    assert code == 1
+    output = capsys.readouterr().out
+    assert "CLK001" in output and "CLK002" in output
+    assert "clock_violation.py:9:" in output
+
+
+def test_lint_json_format_is_machine_readable(capsys):
+    code = lint_main([str(FIXTURES / "clock_violation.py"),
+                      "--format", "json"])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    rule_ids = [finding["rule_id"] for finding in report["findings"]]
+    assert "CLK001" in rule_ids and "CLK002" in rule_ids
+
+
+def test_lint_missing_path_is_usage_error(capsys):
+    code = lint_main(["does/not/exist.py"])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_names_all_families(capsys):
+    code = lint_main(["--list-rules"])
+    assert code == 0
+    output = capsys.readouterr().out
+    for rule_id in ("LCK001", "LCK002", "CLK001", "CLK002",
+                    "EXC001", "EXC002", "SNS001"):
+        assert rule_id in output

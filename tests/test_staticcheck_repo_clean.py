@@ -1,0 +1,63 @@
+"""The lint gate: ``src/repro`` must be clean under its own analyzer.
+
+This is the enforcement half of the staticcheck subsystem — any rule
+violation introduced anywhere in the library fails this test with the
+full ``file:line: RULE message`` report, exactly like
+``python -m repro.cli lint src/repro`` would.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.staticcheck import analyze_paths, load_config, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_library_is_clean_under_staticcheck():
+    config = load_config(SRC)
+    findings = analyze_paths([SRC], config)
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_config_comes_from_pyproject():
+    config = load_config(SRC)
+    # pyproject's [tool.staticcheck] pins the clock module allow-list;
+    # if loading silently fell back to defaults this would still hold,
+    # so also check a value only pyproject sets the same way.
+    assert "*repro/clock.py" in config.clock_allowed_paths
+    assert "*repro/core/daemon.py" in config.critical_except_paths
+
+
+def test_cli_lint_exits_zero_on_clean_tree():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "src/repro",
+         "--skip-tools"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src"},
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "no findings" in completed.stdout
+
+
+def test_cli_lint_exits_nonzero_on_violations():
+    fixture = Path("tests") / "staticcheck_fixtures" / "clock_violation.py"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", str(fixture),
+         "--skip-tools"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src"},
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert completed.returncode == 1
+    assert "CLK001" in completed.stdout
+    assert "clock_violation.py:9:" in completed.stdout

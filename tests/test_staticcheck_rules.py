@@ -1,0 +1,209 @@
+"""Unit tests for every repro.staticcheck rule family.
+
+Each rule has a fixture with known violations and a known-clean twin
+under ``tests/staticcheck_fixtures/``; the tests pin exact rule IDs and
+line numbers so a rule regression cannot hide behind "some finding was
+reported".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Finding,
+    Severity,
+    StaticcheckConfig,
+    all_rules,
+    analyze_paths,
+    parse_json,
+    render_json,
+    render_text,
+)
+from repro.staticcheck.annotations import AnnotationError, parse_annotations
+from repro.staticcheck.driver import analyze_source
+
+FIXTURES = Path(__file__).parent / "staticcheck_fixtures"
+
+FIXTURE_CONFIG = StaticcheckConfig(
+    critical_except_paths=("*except_violation.py", "*except_clean.py"),
+    sensor_module_paths=("*sensor_violation.py", "*sensor_clean.py"),
+)
+
+
+def findings_for(name: str) -> list[Finding]:
+    return analyze_paths([FIXTURES / name], FIXTURE_CONFIG)
+
+
+def ids_and_lines(findings: list[Finding]) -> list[tuple[str, int]]:
+    return [(f.rule_id, f.line) for f in findings]
+
+
+class TestLockRules:
+    def test_violations(self):
+        findings = findings_for("lock_violation.py")
+        assert ids_and_lines(findings) == [
+            ("LCK001", 13),
+            ("LCK001", 16),
+            ("LCK001", 19),
+        ]
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert "self.count" in findings[0].message
+        assert "with self._lock:" in findings[0].message
+
+    def test_clean_twin(self):
+        assert findings_for("lock_clean.py") == []
+
+    def test_unknown_lock_annotations(self):
+        findings = findings_for("lock_badlock.py")
+        assert ids_and_lines(findings) == [
+            ("LCK002", 9),
+            ("LCK002", 12),
+        ]
+        assert findings[0].severity is Severity.WARNING
+        assert "_lokc" in findings[0].message
+        assert "_mutex" in findings[1].message
+
+    def test_init_is_exempt(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # staticcheck: shared(_lock)\n"
+            "        self.n = 1\n"
+        )
+        assert analyze_source("demo.py", source) == []
+
+    def test_tuple_unpacking_target_is_caught(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # staticcheck: shared(_lock)\n"
+            "    def swap(self, other):\n"
+            "        self.n, other.n = other.n, self.n\n"
+        )
+        findings = analyze_source("demo.py", source)
+        assert ids_and_lines(findings) == [("LCK001", 7)]
+
+
+class TestClockRules:
+    def test_violations(self):
+        findings = findings_for("clock_violation.py")
+        assert ids_and_lines(findings) == [
+            ("CLK002", 4),
+            ("CLK001", 9),
+            ("CLK001", 13),
+            ("CLK001", 17),
+        ]
+        assert "time.time" in findings[1].message
+        assert "datetime.datetime.now" in findings[2].message
+
+    def test_clean_twin(self):
+        assert findings_for("clock_clean.py") == []
+
+    def test_clock_module_is_allowed(self):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        config = StaticcheckConfig(clock_allowed_paths=("*clock.py",))
+        assert analyze_source("src/repro/clock.py", source, config) == []
+        flagged = analyze_source("src/repro/other.py", source, config)
+        assert [f.rule_id for f in flagged] == ["CLK001"]
+
+    def test_import_alias_is_resolved(self):
+        source = "import time as t\n\n\ndef now():\n    return t.time()\n"
+        findings = analyze_source("demo.py", source)
+        assert ids_and_lines(findings) == [("CLK001", 5)]
+
+
+class TestExceptionRules:
+    def test_violations(self):
+        findings = findings_for("except_violation.py")
+        assert ids_and_lines(findings) == [
+            ("EXC001", 7),
+            ("EXC002", 14),
+        ]
+
+    def test_clean_twin(self):
+        assert findings_for("except_clean.py") == []
+
+    def test_broad_except_outside_critical_path_is_allowed(self):
+        source = (
+            "def f(fn):\n"
+            "    try:\n"
+            "        fn()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        config = StaticcheckConfig(critical_except_paths=("*daemon.py",))
+        assert analyze_source("helper.py", source, config) == []
+        flagged = analyze_source("core/daemon.py", source, config)
+        assert [f.rule_id for f in flagged] == ["EXC002"]
+
+
+class TestSensorRule:
+    def test_violations(self):
+        findings = findings_for("sensor_violation.py")
+        assert ids_and_lines(findings) == [
+            ("SNS001", 10),
+            ("SNS001", 11),
+        ]
+        assert "catalog" in findings[0].message
+
+    def test_clean_twin(self):
+        assert findings_for("sensor_clean.py") == []
+
+
+class TestSuppression:
+    def test_ignore_directives(self):
+        findings = findings_for("ignore_suppression.py")
+        assert ids_and_lines(findings) == [("CLK001", 15)]
+
+    def test_unknown_directive_is_reported(self):
+        with pytest.raises(AnnotationError):
+            parse_annotations("x = 1  # staticcheck: sharde(_lock)\n")
+
+    def test_annotation_error_becomes_finding(self):
+        findings = analyze_source(
+            "demo.py", "x = 1  # staticcheck: sharde(_lock)\n")
+        assert [f.rule_id for f in findings] == ["ANN"]
+
+    def test_annotation_inside_string_is_not_parsed(self):
+        annotations = parse_annotations(
+            "x = '# staticcheck: shared(_lock)'\n")
+        assert annotations == {}
+
+
+class TestReporters:
+    def test_json_round_trip(self):
+        findings = findings_for("clock_violation.py")
+        assert findings  # the round trip must carry real payload
+        assert parse_json(render_json(findings)) == findings
+
+    def test_json_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError):
+            parse_json("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            parse_json('{"version": 99, "findings": []}')
+
+    def test_text_report_carries_location_and_summary(self):
+        findings = findings_for("lock_violation.py")
+        text = render_text(findings)
+        assert "lock_violation.py:13:" in text
+        assert "LCK001" in text
+        assert "3 findings" in text
+        assert render_text([]) == "staticcheck: no findings"
+
+
+class TestFramework:
+    def test_all_rule_families_registered(self):
+        families = {rule.rule_id[:3] for rule in all_rules()}
+        assert {"LCK", "CLK", "EXC", "SNS"} <= families
+
+    def test_syntax_error_becomes_finding(self):
+        findings = analyze_source("broken.py", "def f(:\n")
+        assert [f.rule_id for f in findings] == ["PARSE"]
+        assert findings[0].severity is Severity.ERROR
