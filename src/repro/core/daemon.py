@@ -60,10 +60,15 @@ class StorageDaemon:
         self.clock: Clock = engine.clock
         self._session: "Session | None" = None
         self._lock = threading.Lock()
-        self._last_seq: dict[str, int] = {  # staticcheck: shared(_lock)
+        # Key space fixed by TABLE_SOURCES (one entry per IMA table).
+        self._last_seq: dict[str, int] = {
+            # staticcheck: shared(_lock); bounded(TABLE_SOURCES)
             source: 0 for source in TABLE_SOURCES.values()
         }
-        self._pending: dict[str, list[tuple]] = {  # staticcheck: shared(_lock)
+        # Same fixed key space; the per-table row lists are drained by
+        # every flush, so flush_every_polls bounds the batch.
+        self._pending: dict[str, list[tuple]] = {
+            # staticcheck: shared(_lock); bounded(flush)
             table: [] for table in TABLE_SOURCES
         }
         self._polls_since_flush = 0  # staticcheck: shared(_lock)

@@ -33,7 +33,8 @@ class RingBuffer(Generic[T]):
             raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._items: list[tuple[int, T]] = []  # staticcheck: shared(_lock)
+        self._items: list[tuple[int, T]] = \
+            []  # staticcheck: shared(_lock); bounded(capacity)
         # _start is the physical index of the oldest element.
         self._start = 0  # staticcheck: shared(_lock)
         self._next_seq = 1  # staticcheck: shared(_lock)
@@ -95,7 +96,7 @@ class KeyedRingBuffer(Generic[K, T]):
         self.capacity = capacity
         self._lock = threading.Lock()
         self._items: OrderedDict[K, tuple[int, T]] = \
-            OrderedDict()  # staticcheck: shared(_lock)
+            OrderedDict()  # staticcheck: shared(_lock); bounded(capacity)
         self._next_seq = 1  # staticcheck: shared(_lock)
         self._evicted = 0  # staticcheck: shared(_lock)
 

@@ -4,6 +4,17 @@ The lock system is both a correctness substrate (serializing writers)
 and a *monitored subsystem*: its counters (locks in use, lock waits,
 deadlocks) feed the system-wide statistics channel that figure 8 of the
 paper visualizes.
+
+Lock order
+----------
+
+``LockManager._mutex`` (shared with the ``_granted`` condition that
+wraps it) is a *leaf* lock: nothing else is acquired while it is held,
+and the only blocking call under it is ``Condition.wait`` — which
+releases the mutex while waiting.  Code that needs both an engine lock
+and the buffer-pool latch must acquire the engine lock first and never
+call back into the lock manager while holding the latch; the deep
+staticcheck phase (LCK003/LCK004) enforces this ordering globally.
 """
 
 from __future__ import annotations

@@ -19,17 +19,46 @@ analysis framework enforcing exactly those invariants:
 * **Sensor-overhead discipline** (``SNS``) — no catalog/engine/session
   calls from inside sensor record paths.
 
-Run it as ``python -m repro.cli lint [paths]`` or through
-:func:`analyze_paths`.  Findings are suppressable per line with
-``# staticcheck: ignore[RULE1,RULE2]``.
+A second, *interprocedural* phase (``--deep``) builds a project-wide
+call graph and propagates held locks across it, adding:
+
+* **Lock-order cycles** (``LCK003``) — a cycle in the acquisition-order
+  graph is a potential deadlock.
+* **Blocking under a lock** (``LCK004``) — sleeps, socket/file I/O, SQL
+  round trips or untimed ``queue.get``/``join`` reachable while any
+  lock is held.
+* **Unbounded growth** (``GRW001``) — monitor-path containers that grow
+  without eviction, ``maxlen``, a capacity check or a
+  ``# staticcheck: bounded(<witness>)`` declaration.
+* **Sensor-call budget** (``SNS002``) — sensor paths looping (directly
+  or through calls) over catalog/engine-sized collections.
+
+Run it as ``python -m repro.cli lint --deep [paths]`` or through
+:func:`analyze_paths` / :func:`analyze_project`.  Findings are
+suppressable per line with ``# staticcheck: ignore[RULE1,RULE2]``;
+deep findings carry an evidence trace (call chain plus acquisition
+sites) in both text and JSON output.
 """
 
 from __future__ import annotations
 
-from repro.staticcheck.base import Rule, all_rules, register
+from repro.staticcheck.base import (
+    ProjectRule,
+    Rule,
+    all_deep_rules,
+    all_rules,
+    register,
+    register_deep,
+)
+from repro.staticcheck.callgraph import ProjectContext, build_project
 from repro.staticcheck.config import StaticcheckConfig, load_config
-from repro.staticcheck.driver import ModuleContext, analyze_paths
-from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.driver import (
+    ModuleContext,
+    analyze_paths,
+    analyze_project,
+)
+from repro.staticcheck.findings import Finding, Severity, TraceEntry
+from repro.staticcheck.lockflow import DeepContext, LockFlow
 from repro.staticcheck.reporters import parse_json, render_json, render_text
 
 # Importing the rule modules registers their rules with the registry.
@@ -37,18 +66,28 @@ from repro.staticcheck import rules_clock  # noqa: F401  (registration)
 from repro.staticcheck import rules_exceptions  # noqa: F401
 from repro.staticcheck import rules_locks  # noqa: F401
 from repro.staticcheck import rules_sensors  # noqa: F401
+from repro.staticcheck import rules_deep  # noqa: F401
 
 __all__ = [
+    "DeepContext",
     "Finding",
+    "LockFlow",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "StaticcheckConfig",
+    "TraceEntry",
+    "all_deep_rules",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
+    "build_project",
     "load_config",
     "parse_json",
     "register",
+    "register_deep",
     "render_json",
     "render_text",
 ]

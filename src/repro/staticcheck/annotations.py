@@ -10,6 +10,12 @@ Annotations are ordinary comments attached to the line they govern:
 * ``# staticcheck: guarded-by(_lock)`` — on (or directly above) a
   ``def`` line: every caller of the method already holds the lock, so
   mutations inside the body are considered guarded.
+* ``# staticcheck: bounded(<witness>)`` — on a container attribute
+  assignment: the container cannot grow without bound, and ``witness``
+  names what enforces that — the capacity attribute checked before
+  inserts (``bounded(capacity)``), the method that drains it
+  (``bounded(flush)``), or the module constant fixing its key space
+  (``bounded(TABLE_SOURCES)``).  Read by the deep GRW001 rule.
 * ``# staticcheck: ignore`` / ``# staticcheck: ignore[LCK001,CLK001]``
   — suppress all / the listed findings reported for this line.
 
@@ -29,7 +35,7 @@ _DIRECTIVE_RE = re.compile(
     r"^(?P<name>[a-z-]+)\s*(?:[\(\[]\s*(?P<args>[^)\]]*)\s*[\)\]])?$"
 )
 
-KNOWN_DIRECTIVES = ("shared", "guarded-by", "ignore")
+KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "ignore")
 
 
 @dataclass(frozen=True)

@@ -17,9 +17,10 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.staticcheck.base import all_rules
+import repro.staticcheck  # noqa: F401  (registers all rules)
+from repro.staticcheck.base import all_deep_rules, all_rules
 from repro.staticcheck.config import load_config
-from repro.staticcheck.driver import analyze_paths
+from repro.staticcheck.driver import analyze_paths, analyze_project
 from repro.staticcheck.reporters import render_json, render_text
 
 DEFAULT_PATHS = ("src/repro",)
@@ -48,6 +49,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--skip-tools", action="store_true",
                         help="run only the custom AST rules, "
                              "never ruff/mypy")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the interprocedural phase "
+                             "(call graph + held-lock propagation: "
+                             "LCK003/LCK004/GRW001/SNS002)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     arguments = parser.parse_args(argv)
@@ -55,6 +60,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.summary}")
+        for deep_rule in all_deep_rules():
+            print(f"{deep_rule.rule_id}  [deep] {deep_rule.summary}")
         return 0
 
     missing = [path for path in arguments.paths
@@ -66,6 +73,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     config = load_config(Path(arguments.paths[0]))
     findings = analyze_paths(arguments.paths, config)
+    if arguments.deep:
+        findings.extend(analyze_project(arguments.paths, config))
+        findings.sort(key=lambda f: f.sort_key)
 
     if arguments.output_format == "json":
         print(render_json(findings))

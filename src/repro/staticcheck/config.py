@@ -53,6 +53,54 @@ class StaticcheckConfig:
     """Call-chain segments that signal a catalog/engine round trip —
     the paper's "no extra catalog lookups" rule for sensors."""
 
+    blocking_call_patterns: tuple[str, ...] = (
+        "time.sleep",
+        "socket.*",
+        "subprocess.*",
+        "select.select",
+        "open",
+        "io.open",
+        "*.Clock.sleep",
+        "*.SystemClock.sleep",
+        "*.VirtualClock.sleep",
+        "*.Session.execute",
+        "*.EngineInstance.connect",
+        "*.DiskManager.read",
+        "*.DiskManager.write",
+        "*.Thread.join",
+        "threading.Thread.join",
+    )
+    """Resolved call targets considered blocking for LCK004 (fnmatch
+    patterns over fully qualified names).  ``queue.Queue.get`` and
+    ``threading.Event.wait`` without a timeout are blocking too but are
+    recognised structurally, not via this list; ``Condition.wait`` is
+    exempt because it releases the lock it waits on."""
+
+    growth_scope_paths: tuple[str, ...] = (
+        "*repro/core/ring_buffer.py",
+        "*repro/core/monitor.py",
+        "*repro/core/sensors.py",
+        "*repro/core/daemon.py",
+        "*repro/core/watchdog.py",
+        "*repro/engine/locks.py",
+        "*repro/storage/buffer_pool.py",
+    )
+    """Modules whose classes must keep every container bounded (GRW001
+    scope) — the monitor/sensor path, where the paper promises a fixed
+    memory footprint no matter how long the DBMS runs."""
+
+    sensor_cardinality_segments: tuple[str, ...] = (
+        "catalog",
+        "engine",
+        "session",
+        "rows",
+        "tables",
+        "storage_for",
+    )
+    """Iterable-chain segments whose size scales with catalog or table
+    cardinality; loops over them inside sensor record paths break the
+    constant per-call sensor budget (SNS002)."""
+
     def path_matches(self, path: str, patterns: tuple[str, ...]) -> bool:
         posix = Path(path).as_posix()
         return any(fnmatch(posix, pattern) for pattern in patterns)

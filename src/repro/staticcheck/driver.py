@@ -20,7 +20,12 @@ from repro.staticcheck.annotations import (
     parse_annotations,
 )
 from repro.staticcheck.astutil import build_parent_map, import_aliases
-from repro.staticcheck.base import Rule, all_rules
+from repro.staticcheck.base import (
+    ProjectRule,
+    Rule,
+    all_deep_rules,
+    all_rules,
+)
 from repro.staticcheck.config import StaticcheckConfig
 from repro.staticcheck.findings import Finding, Severity
 
@@ -139,5 +144,43 @@ def analyze_paths(paths: Sequence[Path | str],
             continue
         findings.extend(
             analyze_source(str(path), source, config, rules))
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def analyze_project(paths: Sequence[Path | str],
+                    config: StaticcheckConfig | None = None,
+                    rules: Sequence[ProjectRule] | None = None,
+                    ) -> list[Finding]:
+    """The ``--deep`` phase: whole-program rules over the call graph.
+
+    Files that do not parse are skipped silently here — the shallow
+    phase already reports ``PARSE`` for them, and a partial program is
+    still worth analyzing.
+    """
+    # Imported here: callgraph/lockflow import this module for
+    # ModuleContext, so a top-level import would be circular.
+    from repro.staticcheck.callgraph import build_project
+    from repro.staticcheck.lockflow import DeepContext, LockFlow
+
+    config = config or StaticcheckConfig()
+    modules: list[ModuleContext] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(ModuleContext.from_source(str(path), source))
+        except (OSError, SyntaxError, AnnotationError):
+            continue
+    project = build_project(modules)
+    lockflow = LockFlow(project, config).analyze()
+    deep = DeepContext(project=project, lockflow=lockflow)
+    by_path = {module.path: module for module in modules}
+    findings: list[Finding] = []
+    for rule in (rules if rules is not None else all_deep_rules()):
+        for finding in rule.check_project(deep, config):
+            module = by_path.get(finding.path)
+            if module is not None and module.suppressed(finding):
+                continue
+            findings.append(finding)
     findings.sort(key=lambda f: f.sort_key)
     return findings

@@ -1,9 +1,16 @@
-"""The finding/severity model shared by all rules and reporters."""
+"""The finding/severity model shared by all rules and reporters.
+
+Intra-procedural rules report a bare location; the interprocedural
+(deep) rules additionally attach a ``trace`` — the chain of lock
+acquisitions and call sites that makes the finding reachable — so a
+report line like "blocking call under self._lock" always comes with
+the evidence path a reviewer needs.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 
 
 class Severity(enum.Enum):
@@ -15,6 +22,43 @@ class Severity(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One step of an interprocedural evidence chain."""
+
+    path: str
+    """File the step happens in."""
+
+    line: int
+    """1-based line of the step."""
+
+    function: str
+    """Qualified name of the function the step belongs to."""
+
+    note: str
+    """What the step is: ``acquires self._lock``, ``calls f()``, ..."""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: in {self.function}: {self.note}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "function": self.function,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "TraceEntry":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            function=str(data["function"]),
+            note=str(data["note"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -36,22 +80,42 @@ class Finding:
     severity: Severity
     message: str
 
+    trace: tuple[TraceEntry, ...] = field(default=())
+    """Interprocedural evidence chain (empty for per-module rules)."""
+
     @property
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.column, self.rule_id)
 
     def render(self) -> str:
-        """``path:line:col: RULE severity: message`` (one line)."""
-        return (f"{self.path}:{self.line}:{self.column}: "
+        """``path:line:col: RULE severity: message`` plus, for deep
+        findings, one indented line per trace step."""
+        head = (f"{self.path}:{self.line}:{self.column}: "
                 f"{self.rule_id} {self.severity}: {self.message}")
+        if not self.trace:
+            return head
+        steps = "\n".join(
+            f"    {i}. {entry.render()}"
+            for i, entry in enumerate(self.trace, start=1)
+        )
+        return f"{head}\n{steps}"
 
     def to_dict(self) -> dict[str, object]:
-        data = asdict(self)
-        data["severity"] = self.severity.value
-        return data
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "trace": [entry.to_dict() for entry in self.trace],
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "Finding":
+        raw_trace = data.get("trace", [])
+        if not isinstance(raw_trace, list):
+            raise ValueError("finding trace must be a list")
         return cls(
             path=str(data["path"]),
             line=int(data["line"]),  # type: ignore[arg-type]
@@ -59,4 +123,5 @@ class Finding:
             rule_id=str(data["rule_id"]),
             severity=Severity(data["severity"]),
             message=str(data["message"]),
+            trace=tuple(TraceEntry.from_dict(entry) for entry in raw_trace),
         )

@@ -7,7 +7,11 @@ from collections import Counter
 
 from repro.staticcheck.findings import Finding
 
-JSON_VERSION = 1
+JSON_VERSION = 2
+"""Version 2 adds the ``trace`` key (interprocedural evidence chain)
+to every finding; version-1 payloads (no trace) still parse."""
+
+_ACCEPTED_VERSIONS = frozenset({1, JSON_VERSION})
 
 
 def render_text(findings: list[Finding]) -> str:
@@ -42,7 +46,7 @@ def parse_json(text: str) -> list[Finding]:
     if not isinstance(data, dict) or "findings" not in data:
         raise ValueError("not a staticcheck JSON report")
     version = data.get("version")
-    if version != JSON_VERSION:
+    if version not in _ACCEPTED_VERSIONS:
         raise ValueError(f"unsupported staticcheck report version: "
                          f"{version!r}")
     return [Finding.from_dict(entry) for entry in data["findings"]]

@@ -9,6 +9,18 @@ Storage structures access pages through :meth:`get`, providing a loader
 that turns raw bytes into a page object on a miss, and call
 :meth:`mark_dirty` after mutating a page.  Dirty pages are written back
 on eviction or on :meth:`flush_all`.
+
+Lock order
+----------
+
+``BufferPool._lock`` is a *leaf* latch: it is never held across a call
+into another locked component, and in particular never across
+:class:`~repro.storage.disk.DiskManager` I/O (which charges simulated
+latency).  Every method snapshots what must be read or written while
+holding the latch, releases it, and performs the physical I/O outside —
+so a slow disk stalls only the caller, not every thread contending for
+the pool.  Code acquiring both this latch and any engine lock must take
+the engine lock first.
 """
 
 from __future__ import annotations
@@ -51,15 +63,21 @@ class BufferPool:
         self.capacity = capacity
         self._lock = threading.RLock()
         self._frames: OrderedDict[int, Any] = \
-            OrderedDict()  # staticcheck: shared(_lock)
-        self._dirty: set[int] = set()  # staticcheck: shared(_lock)
+            OrderedDict()  # staticcheck: shared(_lock); bounded(capacity)
+        self._dirty: set[int] = \
+            set()  # staticcheck: shared(_lock); bounded(capacity)
         self._hits = 0  # staticcheck: shared(_lock)
         self._misses = 0  # staticcheck: shared(_lock)
         self._evictions = 0  # staticcheck: shared(_lock)
         self._writebacks = 0  # staticcheck: shared(_lock)
 
     def get(self, page_id: int, loader: Callable[[bytes], _Page]) -> Any:
-        """Return the page object for ``page_id``, reading it on a miss."""
+        """Return the page object for ``page_id``, reading it on a miss.
+
+        The physical read happens with the latch released; on re-entry
+        the frame table is re-checked, so a page admitted concurrently
+        wins over our freshly loaded copy.
+        """
         with self._lock:
             page = self._frames.get(page_id)
             if page is not None:
@@ -67,15 +85,22 @@ class BufferPool:
                 self._hits += 1
                 return page
             self._misses += 1
-            raw = self.disk.read(page_id)
-            page = loader(raw)
-            self._admit(page_id, page, dirty=False)
-            return page
+        raw = self.disk.read(page_id)
+        loaded = loader(raw)
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is not None:
+                self._frames.move_to_end(page_id)
+                return page
+            writebacks = self._admit(page_id, loaded, dirty=False)
+        self._write_back(writebacks)
+        return loaded
 
     def put_new(self, page_id: int, page: _Page) -> None:
         """Install a freshly created page object (dirty by definition)."""
         with self._lock:
-            self._admit(page_id, page, dirty=True)
+            writebacks = self._admit(page_id, page, dirty=True)
+        self._write_back(writebacks)
 
     def put(self, page_id: int, page: _Page) -> None:
         """Record a mutation of ``page``: (re-)admit it and mark it dirty.
@@ -86,7 +111,8 @@ class BufferPool:
         discipline.
         """
         with self._lock:
-            self._admit(page_id, page, dirty=True)
+            writebacks = self._admit(page_id, page, dirty=True)
+        self._write_back(writebacks)
 
     def mark_dirty(self, page_id: int) -> None:
         """Record that a cached page was mutated and must be written back."""
@@ -99,37 +125,63 @@ class BufferPool:
             self._frames.move_to_end(page_id)
 
     # staticcheck: guarded-by(_lock)
-    def _admit(self, page_id: int, page: _Page, dirty: bool) -> None:
+    def _admit(self, page_id: int, page: _Page,
+               dirty: bool) -> list[tuple[int, bytes]]:
+        """Install ``page``, evicting to capacity; return the dirty
+        victims ``(page_id, serialized bytes)`` the caller must write
+        back *after releasing the latch*."""
+        writebacks: list[tuple[int, bytes]] = []
         if page_id in self._frames:
             self._frames[page_id] = page
             self._frames.move_to_end(page_id)
         else:
             while len(self._frames) >= self.capacity:
-                self._evict_one()
+                victim = self._evict_one()
+                if victim is not None:
+                    writebacks.append(victim)
             self._frames[page_id] = page
         if dirty:
             self._dirty.add(page_id)
+        return writebacks
 
     # staticcheck: guarded-by(_lock)
-    def _evict_one(self) -> None:
+    def _evict_one(self) -> tuple[int, bytes] | None:
+        """Evict the LRU frame; return its write-back work, if dirty.
+
+        Serialization happens here, under the latch, so the snapshot is
+        consistent; the physical write is the caller's job once the
+        latch is released."""
         victim_id, victim = self._frames.popitem(last=False)
         self._evictions += 1
         if victim_id in self._dirty:
             self._dirty.discard(victim_id)
-            self.disk.write(victim_id, victim.to_bytes())
             self._writebacks += 1
+            return victim_id, victim.to_bytes()
+        return None
+
+    def _write_back(self, writebacks: list[tuple[int, bytes]]) -> None:
+        """Perform deferred page writes.  Must be called *without* the
+        latch held — that is the whole point of deferring them."""
+        for page_id, raw in writebacks:
+            self.disk.write(page_id, raw)
 
     def flush_all(self) -> int:
-        """Write back every dirty page; return how many were written."""
+        """Write back every dirty page; return how many were written.
+
+        The dirty set is snapshotted (and serialized) under the latch;
+        the writes happen outside it.  A page re-dirtied concurrently
+        simply lands in the next flush — the engine's single-writer
+        discipline rules out lost updates.
+        """
         with self._lock:
-            written = 0
+            writebacks = []
             for page_id in list(self._dirty):
                 page = self._frames[page_id]
-                self.disk.write(page_id, page.to_bytes())
-                written += 1
+                writebacks.append((page_id, page.to_bytes()))
                 self._writebacks += 1
             self._dirty.clear()
-            return written
+        self._write_back(writebacks)
+        return len(writebacks)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache without writing it back (used when
@@ -141,8 +193,13 @@ class BufferPool:
     def clear(self) -> None:
         """Flush dirty pages and empty the cache (cold-cache experiments)."""
         with self._lock:
-            self.flush_all()
+            writebacks = []
+            for page_id in list(self._dirty):
+                writebacks.append((page_id, self._frames[page_id].to_bytes()))
+                self._writebacks += 1
+            self._dirty.clear()
             self._frames.clear()
+        self._write_back(writebacks)
 
     @property
     def cached_page_count(self) -> int:

@@ -1,0 +1,17 @@
+"""The same worker, draining outside the lock and with a timeout."""
+
+import queue
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+        self.processed = 0
+
+    def drain_one(self):
+        item = self._queue.get(timeout=0.5)
+        with self._lock:
+            self.processed += 1
+        return item

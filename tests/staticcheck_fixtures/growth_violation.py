@@ -1,0 +1,15 @@
+"""Monitor-path containers that grow without any bound."""
+
+import threading
+
+
+class History:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self._by_key = {}
+
+    def record(self, key, value):
+        with self._lock:
+            self._events.append(value)
+            self._by_key[key] = value

@@ -1,0 +1,23 @@
+"""Two locks taken in opposite orders on different call paths."""
+
+import threading
+
+
+class Accounts:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.balance = 0
+
+    def debit(self):
+        with self._a:
+            with self._b:
+                self.balance -= 1
+
+    def credit(self):
+        with self._b:
+            self._locked_increment()
+
+    def _locked_increment(self):
+        with self._a:
+            self.balance += 1

@@ -1,0 +1,15 @@
+"""Sensor record paths that stay O(1) per call."""
+
+
+class CounterSensor:
+    def __init__(self):
+        self.calls = 0
+        self.last_value = None
+
+    def record(self, value):
+        self.calls += 1
+        self.last_value = value
+
+    def record_batch(self, values):
+        for value in values:
+            self.record(value)

@@ -1,0 +1,22 @@
+"""Sensor record paths whose cost scales with catalog size."""
+
+
+class CacheSensor:
+    def __init__(self, engine):
+        self.engine = engine
+        self.catalog = engine
+        self.seen = 0
+        self.total = 0
+
+    def record(self):
+        for _table in self.engine.tables:
+            self.seen += 1
+
+    def record_total(self):
+        self.total = self._count_rows()
+
+    def _count_rows(self):
+        total = 0
+        for _row in self.catalog.rows:
+            total += 1
+        return total

@@ -12,7 +12,12 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.staticcheck import analyze_paths, load_config, render_text
+from repro.staticcheck import (
+    analyze_paths,
+    analyze_project,
+    load_config,
+    render_text,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
@@ -21,6 +26,15 @@ SRC = REPO_ROOT / "src" / "repro"
 def test_library_is_clean_under_staticcheck():
     config = load_config(SRC)
     findings = analyze_paths([SRC], config)
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_library_is_clean_under_deep_staticcheck():
+    """The interprocedural phase: no lock-order cycles, no blocking
+    calls under a lock, no unbounded monitor containers, no sensor
+    paths that scale with catalog size."""
+    config = load_config(SRC)
+    findings = analyze_project([SRC], config)
     assert findings == [], "\n" + render_text(findings)
 
 
@@ -36,7 +50,7 @@ def test_config_comes_from_pyproject():
 def test_cli_lint_exits_zero_on_clean_tree():
     completed = subprocess.run(
         [sys.executable, "-m", "repro.cli", "lint", "src/repro",
-         "--skip-tools"],
+         "--skip-tools", "--deep"],
         cwd=REPO_ROOT,
         env={"PYTHONPATH": "src"},
         capture_output=True,
