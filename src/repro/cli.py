@@ -24,11 +24,12 @@ import argparse
 import sys
 from typing import Callable
 
+from repro import faultsim
 from repro.core.autopilot import AutonomousTuner, TuningPolicy
 from repro.core.alerts import fired_alerts, install_standard_alerts
 from repro.core.analyzer import Analyzer
 from repro.engine.session import DmlResult
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
 from repro.execution.executor import QueryResult
 from repro.setups import daemon_setup
 from repro.workloads import NrefScale, load_nref
@@ -83,6 +84,7 @@ class Shell:
             "monitor": self.cmd_monitor,
             "stats": self.cmd_stats,
             "daemon": self.cmd_daemon,
+            "fault": self.cmd_fault,
             "alerts": self.cmd_alerts,
             "analyze": self.cmd_analyze,
             "autopilot": self.cmd_autopilot,
@@ -126,7 +128,8 @@ class Shell:
             "  \\explain <select>    show the optimizer's plan",
             "  \\monitor             recent statements seen by the monitor",
             "  \\stats               engine-wide statistics",
-            "  \\daemon              poll + flush the storage daemon",
+            "  \\daemon [status]     poll + flush the daemon / health snapshot",
+            "  \\fault ...           arm/disarm/inspect failure injection",
             "  \\alerts              alerts fired so far",
             "  \\analyze             run the analyzer on the workload DB",
             "  \\autopilot [dry]     one autonomous tuning cycle",
@@ -174,13 +177,72 @@ class Shell:
         return "\n".join(f"  {key}: {value}"
                          for key, value in stats.items())
 
-    def cmd_daemon(self, _argument: str) -> str:
-        poll = self.setup.daemon.poll_once()
-        written, purged = self.setup.daemon.flush()
+    def cmd_daemon(self, argument: str) -> str:
+        if argument.lower() == "status":
+            status = self.setup.daemon.status()
+            last_flush = (f"{status.last_flush_at:.1f}"
+                          if status.last_flush_at is not None else "never")
+            return "\n".join([
+                f"  running: {status.running}",
+                f"  total polls: {status.total_polls}",
+                f"  poll failures: {status.poll_failures} "
+                f"(consecutive: {status.consecutive_failures}, "
+                f"backoff: {status.backoff_s:g}s)",
+                f"  last error: {status.last_error or '-'}",
+                f"  pending rows: {status.pending_rows} "
+                f"(dropped: {status.rows_dropped})",
+                f"  rows flushed: {status.total_rows_flushed}, "
+                f"purged: {status.total_rows_purged}",
+                f"  last flush at: {last_flush}",
+            ])
+        try:
+            poll = self.setup.daemon.poll_once()
+            written, purged = self.setup.daemon.flush()
+        except ReproError as error:
+            return f"error: {error} (see \\daemon status)"
         return (f"collected {poll.rows_collected} rows; wrote {written}, "
                 f"purged {purged}; workload DB now "
                 f"{self.setup.workload_db.total_rows()} rows "
                 f"({self.setup.workload_db.total_bytes / 1024:.0f} KiB)")
+
+    def cmd_fault(self, argument: str) -> str:
+        usage = ("usage: \\fault arm <point>:<mode>[,k=v...] | "
+                 "\\fault disarm <point> | \\fault reset | "
+                 "\\fault status | \\fault points")
+        action, _, rest = argument.partition(" ")
+        action = action.lower()
+        rest = rest.strip()
+        injector = faultsim.get_injector()
+        if action == "arm":
+            if not rest:
+                return usage
+            try:
+                faultsim.arm_from_spec(rest, clock=self.setup.engine.clock)
+            except (FaultError, ValueError) as error:
+                return f"error: {error}"
+            return f"armed {rest}"
+        if action == "disarm":
+            if not rest:
+                return usage
+            injector.disarm(rest)
+            return f"disarmed {rest}"
+        if action == "reset":
+            injector.reset()
+            return "all failure points disarmed, counters cleared"
+        if action == "status":
+            stats = injector.stats()
+            if not stats:
+                return "(no failure point has been armed)"
+            rows = [(s.point, s.armed or "-", str(s.evaluations),
+                     str(s.triggers), str(s.errors_raised),
+                     f"{s.latency_injected_s:g}", f"{s.jumps_injected_s:g}")
+                    for s in stats]
+            return format_rows(
+                ("point", "armed", "evals", "triggers", "errors",
+                 "latency_s", "jumps_s"), rows)
+        if action == "points":
+            return "\n".join(f"  {point}" for point in faultsim.FAIL_POINTS)
+        return usage
 
     def cmd_alerts(self, _argument: str) -> str:
         alerts = fired_alerts(self.setup.workload_db)
@@ -284,8 +346,21 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SQL",
                         help="run a statement/command and exit "
                              "(repeatable)")
+    parser.add_argument("--fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="arm a failure point, e.g. "
+                             "'disk.read:every-n=10' or "
+                             "'session.execute:p=0.05,seed=7,latency=0.2' "
+                             "(repeatable; see \\fault points)")
     arguments = parser.parse_args(argv)
     shell = Shell(arguments.database)
+    for spec in arguments.fault:
+        try:
+            faultsim.arm_from_spec(spec, clock=shell.setup.engine.clock)
+        except (FaultError, ValueError) as error:
+            print(f"error: bad --fault {spec!r}: {error}", file=sys.stderr)
+            shell.close()
+            return 2
     try:
         if arguments.execute:
             for statement in arguments.execute:

@@ -11,12 +11,20 @@ Two implementations are provided:
 The engine measures *durations* with :meth:`Clock.monotonic` and stamps
 *records* with :meth:`Clock.now` (epoch seconds), mirroring the paper's
 split between per-statement wallclock and workload-DB timestamps.
+
+Both clocks route ``now()`` through the :mod:`repro.faultsim`
+``clock.now`` failure point, which can inject wall-clock *jumps* (an
+NTP step, a VM migration).  ``monotonic()`` is deliberately immune —
+that is the property monotonic time guarantees — so jump experiments
+expose exactly the code that stamps records with wall-clock time.
 """
 
 from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+
+from repro import faultsim
 
 
 class Clock(ABC):
@@ -39,7 +47,7 @@ class SystemClock(Clock):
     """Real time, backed by the :mod:`time` module."""
 
     def now(self) -> float:
-        return time.time()
+        return time.time() + faultsim.clock_offset(self)
 
     def monotonic(self) -> float:
         return time.monotonic()
@@ -57,7 +65,7 @@ class VirtualClock(Clock):
         self._time = float(start)
 
     def now(self) -> float:
-        return self._time
+        return self._time + faultsim.clock_offset(self)
 
     def monotonic(self) -> float:
         return self._time

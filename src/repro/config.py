@@ -120,6 +120,24 @@ class DaemonConfig:
     retention_s: float = 7 * 24 * 3600.0
     """Seconds of history kept in the workload DB (paper: seven days)."""
 
+    backoff_initial_s: float = 1.0
+    """Extra delay before the retry after the first consecutive poll
+    failure; doubles (``backoff_factor``) on each further failure."""
+
+    backoff_factor: float = 2.0
+    """Multiplier applied to the backoff delay per consecutive failure."""
+
+    backoff_max_s: float = 300.0
+    """Cap on the backoff delay so a long outage still retries."""
+
+    max_pending_rows: int = 100_000
+    """Per-table cap on rows buffered while the workload DB is down;
+    beyond it the oldest buffered rows are dropped (and counted)."""
+
+    stop_join_timeout_s: float = 5.0
+    """Seconds ``stop()`` waits for the poll thread before reporting a
+    hung daemon (the thread handle is kept so it cannot be leaked)."""
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -139,3 +157,8 @@ class EngineConfig:
     """Per-session cache of compiled SELECT plans keyed by statement
     text (the engine-side caching that makes the paper's repeated 1m
     statements cheap).  0 disables plan caching."""
+
+    faults: tuple[str, ...] = ()
+    """Fault-injection specs armed when the engine is constructed, e.g.
+    ``("disk.read:every-n=10", "session.execute:p=0.01,seed=7")``; see
+    :mod:`repro.faultsim`.  Empty (the default) injects nothing."""

@@ -127,7 +127,7 @@ def view_from_workload_db(workload_db: WorkloadDatabase) -> WorkloadView:
     for _rowid, row in database.storage_for("wl_workload").scan():
         (_captured, text_hash, _session, _ts, _opt, _exec, wallclock,
          est_io, est_cpu, act_io, act_cpu, _lr, _pr, _tp, _rr,
-         used_indexes, monitor_s) = row
+         used_indexes, monitor_s) = row[:17]
         profile = view.statements.get(text_hash)
         if profile is None:
             profile = StatementProfile(text_hash=text_hash, text="")
@@ -143,7 +143,8 @@ def view_from_workload_db(workload_db: WorkloadDatabase) -> WorkloadView:
             profile.used_indexes.update(used_indexes.split(","))
 
     for _rowid, row in database.storage_for("wl_references").scan():
-        _captured, text_hash, object_type, object_name, table_name, _freq = row
+        (_captured, text_hash, object_type, object_name, table_name,
+         _freq) = row[:6]
         profile = view.statements.get(text_hash)
         if profile is None:
             continue

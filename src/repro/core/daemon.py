@@ -10,15 +10,34 @@ the seven-day retention purge.
 
 ``poll_once``/``flush`` are public so tests and benchmarks can drive
 the daemon deterministically; ``start``/``stop`` run it as a thread.
-Because the poll loop runs on a background thread while ``stop()``,
-tests and the shell's ``\\daemon`` command call in from the foreground,
-all cross-thread bookkeeping (pending batches, per-table high-water
-sequence numbers, counters) is guarded by ``self._lock``; the
-annotations are enforced by ``repro.staticcheck``'s lock-discipline
-rule.  A failed poll never kills the daemon, but it is never silent
-either: expected failures (engine errors, disk errors on flush) are
-counted in ``poll_failures`` with the message kept in
-``last_poll_error``.
+
+Locking is two-level.  ``self._poll_mutex`` serializes *whole polls and
+flushes* — the background loop, ``stop()``'s final flush, tests and the
+shell's ``\\daemon`` command must never interleave reads of the same
+high-water marks (two polls sharing a snapshot would persist duplicate
+rows).  It is held across the SQL round trips by design and is never
+taken on engine hot paths.  ``self._lock`` stays cheap: it guards only
+the in-memory bookkeeping (pending batches, high-water marks, counters)
+and is never held across I/O.  The annotations are enforced by
+``repro.staticcheck``'s lock-discipline rules.
+
+The daemon is built to the paper's "never dies, never lies" contract:
+
+* A failed poll never kills the loop — the next wake-up retries with
+  exponential backoff (``backoff_initial_s`` · ``backoff_factor``^k,
+  capped at ``backoff_max_s``) added to the poll interval.
+* While the workload DB is down the daemon keeps collecting into
+  bounded pending batches (``max_pending_rows`` per table); overflow
+  drops the oldest rows and *counts* them in ``rows_dropped``.
+* Every workload row carries its source IMA sequence number
+  (``src_seq``), appended in ascending order, so :meth:`resync` can
+  recover the per-table high-water marks from persisted data — a
+  daemon that crashed mid-flush restarts without duplicating or losing
+  rows.
+* Nothing fails silently: failures are counted in ``poll_failures``
+  with the message in ``last_poll_error``, and :meth:`status` exposes
+  the full health snapshot (consecutive failures, backoff, pending,
+  dropped).
 """
 
 from __future__ import annotations
@@ -47,6 +66,24 @@ class PollStats:
     rows_purged: int
 
 
+@dataclass(frozen=True)
+class DaemonStatus:
+    """Health snapshot returned by :meth:`StorageDaemon.status`."""
+
+    running: bool
+    total_polls: int
+    poll_failures: int
+    consecutive_failures: int
+    backoff_s: float
+    """Extra delay added to the next wake-up (0 when healthy)."""
+    last_error: str | None
+    pending_rows: int
+    rows_dropped: int
+    total_rows_flushed: int
+    total_rows_purged: int
+    last_flush_at: float | None
+
+
 class StorageDaemon:
     """Polls IMA over SQL and persists the data with delayed writes."""
 
@@ -58,17 +95,20 @@ class StorageDaemon:
         self.workload_db = workload_db
         self.config = config or engine.config.daemon
         self.clock: Clock = engine.clock
-        self._session: "Session | None" = None
+        # Serializes whole polls/flushes end to end (see module doc).
+        self._poll_mutex = threading.Lock()
+        self._session: "Session | None" = None  # staticcheck: shared(_poll_mutex)
         self._lock = threading.Lock()
         # Key space fixed by TABLE_SOURCES (one entry per IMA table).
         self._last_seq: dict[str, int] = {
             # staticcheck: shared(_lock); bounded(TABLE_SOURCES)
             source: 0 for source in TABLE_SOURCES.values()
         }
-        # Same fixed key space; the per-table row lists are drained by
-        # every flush, so flush_every_polls bounds the batch.
-        self._pending: dict[str, list[tuple]] = {
-            # staticcheck: shared(_lock); bounded(flush)
+        # Same fixed key space; each per-table list is drained by every
+        # flush and capped at max_pending_rows while the workload DB is
+        # down (overflow drops the oldest rows into rows_dropped).
+        self._pending: dict[str, list[tuple[int, tuple]]] = {
+            # staticcheck: shared(_lock); bounded(max_pending_rows)
             table: [] for table in TABLE_SOURCES
         }
         self._polls_since_flush = 0  # staticcheck: shared(_lock)
@@ -79,34 +119,78 @@ class StorageDaemon:
         self.total_rows_purged = 0  # staticcheck: shared(_lock)
         self.poll_failures = 0  # staticcheck: shared(_lock)
         self.last_poll_error: str | None = None  # staticcheck: shared(_lock)
+        self.rows_dropped = 0  # staticcheck: shared(_lock)
+        self._consecutive_failures = 0  # staticcheck: shared(_lock)
+        self._backoff_s = 0.0  # staticcheck: shared(_lock)
+        self._last_flush_at: float | None = None  # staticcheck: shared(_lock)
+        self.resync()
+
+    # -- crash recovery ------------------------------------------------------
+
+    def resync(self) -> None:
+        """Adopt high-water marks from persisted workload data.
+
+        Called on construction (and available to tests): after a crash
+        the workload DB's trailing ``src_seq`` column is the durable
+        record of what was persisted, so a restarted daemon resumes
+        exactly after it — no duplicated and no lost rows.
+        """
+        marks = self.workload_db.load_high_water()
+        with self._lock:
+            for wl_table, seq in marks.items():
+                ima_table = TABLE_SOURCES[wl_table]
+                if seq > self._last_seq[ima_table]:
+                    self._last_seq[ima_table] = seq
 
     # -- polling ------------------------------------------------------------
 
+    # staticcheck: guarded-by(_poll_mutex)
     def _ensure_session(self) -> "Session":
         if self._session is None or self._session.closed:
-            self._session = self.engine.connect(self.ima_database)
+            # Connecting under _poll_mutex is deliberate: the mutex
+            # serializes daemon polls only, never engine hot paths.
+            self._session = self.engine.connect(  # staticcheck: ignore[LCK004]
+                self.ima_database)
         return self._session
 
     def poll_once(self) -> PollStats:
-        """One wake-up: read new IMA rows; flush if the batch is due."""
+        """One wake-up: read new IMA rows; flush if the batch is due.
+
+        Raises on failure (after recording it) so foreground callers
+        see the error; the background loop catches and retries with
+        backoff.
+        """
+        with self._poll_mutex:
+            try:
+                # Holding _poll_mutex across the SQL round trips is the
+                # point: concurrent polls reading one high-water
+                # snapshot would persist duplicate rows.
+                stats = self._poll_locked()  # staticcheck: ignore[LCK004]
+            except (ReproError, OSError) as error:
+                self._record_failure(error)
+                raise
+            self._record_success()
+            return stats
+
+    def _poll_locked(self) -> PollStats:
         session = self._ensure_session()
         with self._lock:
             high_water = dict(self._last_seq)
-        # The SQL round trips run without the daemon lock held — a poll
-        # must never block a foreground flush/stop on query execution.
-        batches: dict[str, list[tuple]] = {}
+        # The SQL round trips run without the daemon's cheap lock held —
+        # a poll must never block counter reads on query execution.
+        batches: dict[str, list[tuple[int, tuple]]] = {}
         collected = 0
         for wl_table, ima_table in TABLE_SOURCES.items():
             last = high_water[ima_table]
             result = session.execute(
                 f"select * from {ima_table} where seq > {last}"
             )
-            rows: list[tuple] = []
+            rows: list[tuple[int, tuple]] = []
             for row in result.rows:
                 seq = row[0]
                 if seq > high_water[ima_table]:
                     high_water[ima_table] = seq
-                rows.append(tuple(row[1:]))
+                rows.append((seq, tuple(row[1:])))
                 collected += 1
             batches[wl_table] = rows
         with self._lock:
@@ -114,7 +198,7 @@ class StorageDaemon:
                 if seq > self._last_seq[ima_table]:
                     self._last_seq[ima_table] = seq
             for wl_table, rows in batches.items():
-                self._pending[wl_table].extend(rows)
+                self._admit_pending(wl_table, rows)
             self.total_polls += 1
             self._polls_since_flush += 1
             flush_due = self._polls_since_flush >= self.config.flush_every_polls
@@ -122,15 +206,29 @@ class StorageDaemon:
         rows_flushed = 0
         rows_purged = 0
         if flush_due:
-            rows_flushed, rows_purged = self.flush()
+            rows_flushed, rows_purged = self._flush_locked()
             flushed = True
         return PollStats(collected, flushed, rows_flushed, rows_purged)
 
     def flush(self) -> tuple[int, int]:
         """Append buffered rows to the workload DB and purge old history.
 
-        Returns (rows written, rows purged).
+        Returns (rows written, rows purged).  On failure the unwritten
+        batches are requeued (see :meth:`_flush_locked`) and the error
+        re-raised after being recorded.
         """
+        with self._poll_mutex:
+            try:
+                # Held across the workload-DB writes by design; the
+                # mutex serializes the daemon only (see module doc).
+                result = self._flush_locked()  # staticcheck: ignore[LCK004]
+            except (ReproError, OSError) as error:
+                self._record_failure(error)
+                raise
+            self._record_success()
+            return result
+
+    def _flush_locked(self) -> tuple[int, int]:
         now = self.clock.now()
         with self._lock:
             batches = {
@@ -141,30 +239,118 @@ class StorageDaemon:
                 rows.clear()
             self._polls_since_flush = 0
         written = 0
-        for table, rows in batches.items():
-            written += self.workload_db.append(table, rows, now)
-        purged = self.workload_db.purge_older_than(
-            now - self.config.retention_s)
-        self.workload_db.flush()
+        done: set[str] = set()
+        try:
+            for table, rows in batches.items():
+                # Rows go out in ascending src_seq order so a failure
+                # mid-append persists a clean prefix; recovery resumes
+                # after the highest persisted seq.
+                written += self.workload_db.append(
+                    table, [row for _seq, row in rows], now,
+                    seqs=[seq for seq, _row in rows])
+                done.add(table)
+            purged = self.workload_db.purge_older_than(
+                now - self.config.retention_s)
+            self.workload_db.flush()
+        except (ReproError, OSError):
+            self._requeue_after_failure(batches, done, written)
+            raise
         with self._lock:
             self.total_rows_flushed += written
             self.total_rows_purged += purged
+            self._last_flush_at = now
         return written, purged
+
+    def _requeue_after_failure(self, batches: dict[str, list[tuple[int, tuple]]],
+                               done: set[str], written: int) -> None:
+        """Put rows the failed flush did not persist back in pending.
+
+        The failing table may have persisted a prefix of its batch, so
+        the persisted high-water marks decide what to requeue; if even
+        reading them fails, requeue everything not known written (the
+        next resync-based recovery still converges).
+        """
+        try:
+            marks = self.workload_db.load_high_water()
+        except (ReproError, OSError):
+            marks = {}
+        with self._lock:
+            for table, rows in batches.items():
+                if table in done:
+                    self.total_rows_flushed += len(rows)
+                    continue
+                floor = marks.get(table, 0)
+                survivors = [(seq, row) for seq, row in rows if seq > floor]
+                self.total_rows_flushed += len(rows) - len(survivors)
+                self._pending[table][:0] = survivors
+                self._enforce_cap(table)
+
+    # staticcheck: guarded-by(_lock)
+    def _admit_pending(self, table: str,
+                       rows: list[tuple[int, tuple]]) -> None:
+        self._pending[table].extend(rows)
+        self._enforce_cap(table)
+
+    # staticcheck: guarded-by(_lock)
+    def _enforce_cap(self, table: str) -> None:
+        rows = self._pending[table]
+        overflow = len(rows) - self.config.max_pending_rows
+        if overflow > 0:
+            # Degrade by dropping the *oldest* buffered rows — and never
+            # silently: the drop is part of the health snapshot.
+            del rows[:overflow]
+            self.rows_dropped += overflow
 
     @property
     def pending_rows(self) -> int:
         with self._lock:
             return sum(len(rows) for rows in self._pending.values())
 
+    # -- failure accounting --------------------------------------------------
+
     def _record_failure(self, error: Exception) -> None:
         with self._lock:
             self.poll_failures += 1
+            self._consecutive_failures += 1
             self.last_poll_error = f"{type(error).__name__}: {error}"
+            self._backoff_s = min(
+                self.config.backoff_max_s,
+                self.config.backoff_initial_s
+                * self.config.backoff_factor
+                ** (self._consecutive_failures - 1))
+
+    def _record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._backoff_s = 0.0
+
+    def status(self) -> DaemonStatus:
+        """Health snapshot (the shell's ``\\daemon status``)."""
+        with self._lock:
+            return DaemonStatus(
+                running=self._thread is not None and self._thread.is_alive(),
+                total_polls=self.total_polls,
+                poll_failures=self.poll_failures,
+                consecutive_failures=self._consecutive_failures,
+                backoff_s=self._backoff_s,
+                last_error=self.last_poll_error,
+                pending_rows=sum(
+                    len(rows) for rows in self._pending.values()),
+                rows_dropped=self.rows_dropped,
+                total_rows_flushed=self.total_rows_flushed,
+                total_rows_purged=self.total_rows_purged,
+                last_flush_at=self._last_flush_at,
+            )
 
     # -- background thread -------------------------------------------------------
 
     def start(self) -> None:
-        """Run the poll loop in a background thread."""
+        """Run the poll loop in a background thread.
+
+        Refuses while a previous thread is still alive — including one
+        whose ``stop()`` timed out — so two daemons can never poll the
+        same high-water marks concurrently.
+        """
         if self._thread is not None and self._thread.is_alive():
             raise MonitorError("storage daemon is already running")
         self._stop.clear()
@@ -173,23 +359,55 @@ class StorageDaemon:
         self._thread.start()
 
     def stop(self, final_flush: bool = True) -> None:
-        """Stop the thread; by default flush whatever is buffered."""
+        """Stop the thread; by default run one last poll and flush.
+
+        Tolerates an engine that has already shut down (the final-flush
+        failure is recorded in the counters, not raised), but never
+        hides a hung poll thread: if ``join`` times out the handle is
+        *kept* — so ``start()`` keeps refusing — and MonitorError is
+        raised.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=max(5.0, self.config.poll_interval_s))
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.config.stop_join_timeout_s)
+            if thread.is_alive():
+                raise MonitorError(
+                    "storage daemon thread did not stop within "
+                    f"{self.config.stop_join_timeout_s:g}s; thread handle "
+                    "kept, restart refused while it lives")
             self._thread = None
-        if final_flush:
-            self.poll_once()
-            self.flush()
-        if self._session is not None:
-            self._session.close()
+        try:
+            if final_flush:
+                self.poll_once()
+                self.flush()
+        except (ReproError, OSError):
+            # Engine may already be shut down; the failure is recorded
+            # in poll_failures/last_poll_error rather than raised out
+            # of stop, and pending rows stay requeued for a restart.
+            pass
+        finally:
+            self._close_session()
+
+    def _close_session(self) -> None:
+        with self._poll_mutex:
+            if self._session is None:
+                return
+            try:
+                self._session.close()
+            except (ReproError, OSError):
+                pass  # session/engine already torn down
             self._session = None
 
     def _run(self) -> None:
-        while not self._stop.wait(self.config.poll_interval_s):
+        while True:
+            with self._lock:
+                backoff = self._backoff_s
+            if self._stop.wait(self.config.poll_interval_s + backoff):
+                break
             try:
                 self.poll_once()
-            except (ReproError, OSError) as error:
-                # A poll failure must not kill the daemon — the next
-                # wake-up retries — but it must not vanish either.
-                self._record_failure(error)
+            except (ReproError, OSError):
+                # Recorded by poll_once; the next wake-up retries with
+                # exponential backoff added to the interval.
+                pass

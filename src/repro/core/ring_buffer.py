@@ -82,9 +82,17 @@ class RingBuffer(Generic[T]):
         return [item for _seq, item in self.snapshot()]
 
     def clear(self) -> None:
+        """Empty the window and reset drop accounting.
+
+        ``_next_seq`` intentionally survives a clear: sequence numbers
+        are the storage daemon's per-buffer high-water marks, and
+        reusing them after a clear would make already-persisted seqs
+        ambiguous (the daemon would skip — or re-fetch — fresh rows).
+        """
         with self._lock:
             self._items.clear()
             self._start = 0
+            self._dropped = 0
 
 
 class KeyedRingBuffer(Generic[K, T]):
@@ -155,5 +163,8 @@ class KeyedRingBuffer(Generic[K, T]):
             return iter(list(self._items.keys()))
 
     def clear(self) -> None:
+        """Empty the map and reset eviction accounting; ``_next_seq``
+        survives for the same high-water reason as :meth:`RingBuffer.clear`."""
         with self._lock:
             self._items.clear()
+            self._evicted = 0

@@ -7,16 +7,24 @@ kept for seven days by default so a typical work week can be analyzed.
 
 Because it is a regular database, the collected data is queryable with
 standard SQL and triggers on its tables provide active alerting.
+
+Every workload table carries a trailing ``src_seq`` column: the IMA
+ring-buffer sequence number of the source row.  It is the daemon's
+crash-recovery anchor — on restart :meth:`WorkloadDatabase.load_high_water`
+recovers the per-table high-water marks from persisted data, so a
+daemon that died mid-flush resumes without duplicating or losing rows.
 """
 
 from __future__ import annotations
 
 import math
 
+from repro import faultsim
 from repro.catalog.schema import Column, DataType, StorageStructure, TableSchema
 from repro.clock import Clock, SystemClock
 from repro.config import EngineConfig
 from repro.engine.database import Database
+from repro.errors import MonitorError
 from repro.optimizer.interfaces import estimate_row_bytes
 
 
@@ -32,13 +40,19 @@ def _text(name: str) -> Column:
     return Column(name, DataType.TEXT)
 
 
-WL_STATEMENTS = TableSchema("wl_statements", (
-    _float("captured_at"), _int("text_hash"), _text("query_text"),
+def _wl_schema(name: str, columns: tuple[Column, ...]) -> TableSchema:
+    """Workload table: leading capture timestamp, trailing source seq."""
+    return TableSchema(
+        name, (_float("captured_at"),) + columns + (_int("src_seq"),))
+
+
+WL_STATEMENTS = _wl_schema("wl_statements", (
+    _int("text_hash"), _text("query_text"),
     _int("frequency"), _float("first_seen"), _float("last_seen"),
 ))
 
-WL_WORKLOAD = TableSchema("wl_workload", (
-    _float("captured_at"), _int("text_hash"), _int("session_id"),
+WL_WORKLOAD = _wl_schema("wl_workload", (
+    _int("text_hash"), _int("session_id"),
     _float("ts"), _float("optimize_time_s"), _float("execute_time_s"),
     _float("wallclock_s"), _float("estimated_io"), _float("estimated_cpu"),
     _float("actual_io"), _float("actual_cpu"), _int("logical_reads"),
@@ -46,35 +60,35 @@ WL_WORKLOAD = TableSchema("wl_workload", (
     _text("used_indexes"), _float("monitor_time_s"),
 ))
 
-WL_REFERENCES = TableSchema("wl_references", (
-    _float("captured_at"), _int("text_hash"),
+WL_REFERENCES = _wl_schema("wl_references", (
+    _int("text_hash"),
     Column("object_type", DataType.VARCHAR, 16), _text("object_name"),
     _text("table_name"), _int("frequency"),
 ))
 
-WL_TABLES = TableSchema("wl_tables", (
-    _float("captured_at"), _text("table_name"), _int("frequency"),
+WL_TABLES = _wl_schema("wl_tables", (
+    _text("table_name"), _int("frequency"),
     Column("structure", DataType.VARCHAR, 16), _int("data_pages"),
     _int("overflow_pages"), _int("row_count"), _int("has_statistics"),
 ))
 
-WL_ATTRIBUTES = TableSchema("wl_attributes", (
-    _float("captured_at"), _text("table_name"), _text("attribute_name"),
+WL_ATTRIBUTES = _wl_schema("wl_attributes", (
+    _text("table_name"), _text("attribute_name"),
     _int("frequency"), _int("has_histogram"),
 ))
 
-WL_INDEXES = TableSchema("wl_indexes", (
-    _float("captured_at"), _text("index_name"), _text("table_name"),
+WL_INDEXES = _wl_schema("wl_indexes", (
+    _text("index_name"), _text("table_name"),
     _int("frequency"),
 ))
 
-WL_PLANS = TableSchema("wl_plans", (
-    _float("captured_at"), _int("text_hash"), _float("estimated_cost"),
+WL_PLANS = _wl_schema("wl_plans", (
+    _int("text_hash"), _float("estimated_cost"),
     _text("plan_text"), _float("plan_captured_at"),
 ))
 
-WL_STATISTICS = TableSchema("wl_statistics", (
-    _float("captured_at"), _float("ts"), _int("current_sessions"),
+WL_STATISTICS = _wl_schema("wl_statistics", (
+    _float("ts"), _int("current_sessions"),
     _int("peak_sessions"), _int("locks_held"), _int("lock_waiters"),
     _int("lock_requests"), _int("lock_waits"), _int("deadlocks"),
     _int("lock_timeouts"), _int("cache_hits"), _int("cache_misses"),
@@ -114,12 +128,41 @@ class WorkloadDatabase:
     # -- appends ------------------------------------------------------------
 
     def append(self, table_name: str, rows: list[tuple],
-               captured_at: float) -> int:
+               captured_at: float, seqs: list[int] | None = None) -> int:
         """Append snapshot ``rows`` (without their seq column) stamped
-        with ``captured_at``; returns the number of rows written."""
-        for row in rows:
-            self.database.insert_row(table_name, (captured_at,) + row)
+        with ``captured_at``; returns the number of rows written.
+
+        ``seqs`` supplies each row's source IMA sequence number for the
+        trailing ``src_seq`` column (0 when the caller has none).  The
+        daemon passes them in ascending order so a crash mid-append
+        persists a prefix — recovery via :meth:`load_high_water` then
+        resumes exactly after the last persisted row.
+        """
+        faultsim.fire("workload_db.append", error=MonitorError,
+                      clock=self.clock)
+        for index, row in enumerate(rows):
+            seq = seqs[index] if seqs is not None else 0
+            self.database.insert_row(
+                table_name, (captured_at,) + row + (seq,))
         return len(rows)
+
+    def load_high_water(self) -> dict[str, int]:
+        """Per-table max persisted ``src_seq`` (crash-recovery anchor).
+
+        Returns ``{workload_table_name: max_src_seq}`` with 0 for empty
+        tables; the daemon maps these back to IMA high-water marks on
+        restart so recovery neither duplicates nor loses rows.
+        """
+        marks: dict[str, int] = {}
+        for schema in WORKLOAD_TABLES:
+            storage = self.database.storage_for(schema.name)
+            high = 0
+            for _rowid, row in storage.scan():
+                seq = row[-1]
+                if seq > high:
+                    high = seq
+            marks[schema.name] = high
+        return marks
 
     def flush(self) -> None:
         """Force dirty pages to the (simulated) disk."""
@@ -135,6 +178,8 @@ class WorkloadDatabase:
         compacted with a MODIFY rebuild — the maintenance that keeps the
         workload DB at its steady-state size (the paper's ~4.7 GB cap).
         """
+        faultsim.fire("workload_db.purge", error=MonitorError,
+                      clock=self.clock)
         removed = 0
         for schema in WORKLOAD_TABLES:
             storage = self.database.storage_for(schema.name)

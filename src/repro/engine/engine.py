@@ -16,6 +16,7 @@ import itertools
 import threading
 from typing import Any, Mapping
 
+from repro import faultsim
 from repro.clock import Clock, SystemClock
 from repro.config import EngineConfig
 from repro.core.sensors import NullSensors, Sensors
@@ -40,6 +41,10 @@ class EngineInstance:
         self._session_ids = itertools.count(1)
         self._mutex = threading.Lock()
         self._peak_sessions = 0
+        # Failure points requested by the config (robustness testing);
+        # armed on the process-global injector the seams evaluate.
+        for spec in self.config.faults:
+            faultsim.arm_from_spec(spec, clock=self.clock)
 
     # -- databases -----------------------------------------------------------
 

@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro import faultsim
 from repro.catalog.schema import (
     Column,
     DataType,
@@ -135,6 +136,11 @@ class Session:
         started = clock.monotonic()
         ctx = sensors.statement_start(text, self.session_id)
         try:
+            # Fault seam inside the monitored region: injected failures
+            # and slow queries are observed by the sensors like real
+            # ones (statement_error fires, wallclock includes latency).
+            faultsim.fire("session.execute", error=ExecutionError,
+                          clock=clock)
             cached = self._cached_plan(text)
             if cached is not None:
                 statement, optimized = cached

@@ -85,5 +85,13 @@ class MonitorError(ReproError):
     """Raised by the monitoring subsystem (IMA, daemon, workload DB)."""
 
 
+class FaultError(ReproError):
+    """Raised by :mod:`repro.faultsim` for invalid arming/spec requests."""
+
+
+class InjectedFault(ReproError):
+    """Default error raised by an armed :mod:`repro.faultsim` point."""
+
+
 class AnalyzerError(ReproError):
     """Raised by the analyzer when recommendations cannot be computed."""

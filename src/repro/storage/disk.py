@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro import faultsim
 from repro.clock import Clock, SystemClock
 from repro.config import StorageConfig
 from repro.errors import PageError, StorageError
@@ -71,6 +72,9 @@ class DiskManager:
 
     def read(self, page_id: int) -> bytes:
         """Physically read a page (counted, optionally delayed)."""
+        # Fault seam, evaluated before the lock so injected latency or
+        # errors never execute while holding it.
+        faultsim.fire("disk.read", error=StorageError, clock=self._clock)
         with self._lock:
             try:
                 data = self._pages[page_id]
@@ -83,6 +87,7 @@ class DiskManager:
 
     def write(self, page_id: int, data: bytes) -> None:
         """Physically write a page (counted, optionally delayed)."""
+        faultsim.fire("disk.write", error=StorageError, clock=self._clock)
         if len(data) > self.config.page_size:
             raise PageError(
                 f"page {page_id}: {len(data)} bytes exceed page size "

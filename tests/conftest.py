@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import faultsim
 from repro.catalog.schema import Column, DataType, TableSchema
 from repro.clock import VirtualClock
 from repro.config import EngineConfig, StorageConfig
@@ -12,6 +13,13 @@ from repro.setups import daemon_setup, monitoring_setup, original_setup
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import DiskManager
 from repro.workloads import NrefScale, load_nref
+
+
+@pytest.fixture(autouse=True)
+def _reset_faultsim():
+    """No armed failure point or clock offset may leak across tests."""
+    yield
+    faultsim.reset()
 
 
 @pytest.fixture

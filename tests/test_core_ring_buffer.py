@@ -52,6 +52,24 @@ class TestRingBuffer:
         assert len(buffer) == 0
         assert buffer.snapshot() == []
 
+    def test_clear_resets_drop_accounting(self):
+        buffer = RingBuffer(3)
+        for i in range(10):
+            buffer.append(i)
+        assert buffer.dropped == 7
+        buffer.clear()
+        assert buffer.dropped == 0
+
+    def test_clear_keeps_sequence_high_water(self):
+        # The daemon's per-buffer high-water marks must stay valid across
+        # a clear: sequence numbers are never reused.
+        buffer = RingBuffer(3)
+        for i in range(5):
+            buffer.append(i)
+        assert buffer.total_appended == 5
+        buffer.clear()
+        assert buffer.append("fresh") == 6
+
 
 class TestKeyedRingBuffer:
     def test_upsert_create_and_update(self):
@@ -107,3 +125,11 @@ class TestKeyedRingBuffer:
         buffer.upsert("a", create=lambda: 1)
         buffer.clear()
         assert len(buffer) == 0
+
+    def test_clear_resets_eviction_accounting(self):
+        buffer = KeyedRingBuffer(2)
+        for key in "abc":
+            buffer.upsert(key, create=lambda k=key: k)
+        assert buffer.evicted == 1
+        buffer.clear()
+        assert buffer.evicted == 0
