@@ -205,7 +205,10 @@ class StorageDaemon:
         flushed = False
         rows_flushed = 0
         rows_purged = 0
-        if flush_due:
+        # The snapshot cannot go stale: every writer of
+        # _polls_since_flush runs under _poll_mutex, which this method's
+        # callers hold; _lock only orders the counter reads.
+        if flush_due:  # staticcheck: atomic(_poll_mutex)
             rows_flushed, rows_purged = self._flush_locked()
             flushed = True
         return PollStats(collected, flushed, rows_flushed, rows_purged)

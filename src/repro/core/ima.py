@@ -123,7 +123,7 @@ def register_ima_tables(database: "Database",
         ]
 
     def tables_rows() -> list[tuple]:
-        rows = []
+        rows: list[tuple] = []
         for seq, record in monitor.tables.snapshot():
             structure = ""
             pages = overflow = row_count = 0
@@ -142,7 +142,7 @@ def register_ima_tables(database: "Database",
         return rows
 
     def attributes_rows() -> list[tuple]:
-        rows = []
+        rows: list[tuple] = []
         for seq, record in monitor.attributes.snapshot():
             has_histogram = 0
             if source.catalog.has_table(record.table_name):

@@ -240,9 +240,9 @@ class MonitorSensors(Sensors):
         ctx.optimize_time_s = optimize_time_s
         ctx.used_indexes = tuple(used_indexes)
         monitor = self.monitor
+        known = monitor.statements.get(ctx.text_hash)
         cached = (monitor.config.statement_cache_enabled
-                  and monitor.statements.get(ctx.text_hash) is not None
-                  and monitor.statements.get(ctx.text_hash).frequency > 1)
+                  and known is not None and known.frequency > 1)
         if not cached:
             monitor.record_references(
                 ctx.text_hash, (), referenced_columns, used_indexes)

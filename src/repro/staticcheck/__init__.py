@@ -33,6 +33,30 @@ call graph and propagates held locks across it, adding:
 * **Sensor-call budget** (``SNS002``) — sensor paths looping (directly
   or through calls) over catalog/engine-sized collections.
 
+On top of the call graph and lock flow sits a *field-sensitive
+dataflow* layer (:mod:`repro.staticcheck.dataflow`) that infers, from
+where locked writes happen, which lock guards each attribute — no
+annotation needed — and powers three atomicity rule families:
+
+* **Check-then-act** (``ATM001``) — a guarded field tested without its
+  lock (or through a stale snapshot taken under an earlier
+  acquisition) and then acted on.
+* **Compound updates** (``ATM002``) — ``self.n += 1``-style
+  read-modify-write on a guarded attribute outside its lock.
+* **Unsafe publication** (``PUB001``) — ``self`` escaping ``__init__``
+  (thread start, callback registry, module global) before every
+  attribute is assigned.
+
+Deliberate exceptions are waived with
+``# staticcheck: atomic(<witness>)`` where the witness names the
+evidence of atomicity.
+
+Analysis is *incremental* and *budgeted*: ``--cache`` persists results
+under ``.staticcheck-cache/`` keyed by content hash, rule-set version
+and call-graph dependency fingerprint so a warm run re-analyzes
+nothing; ``--budget`` enforces per-rule wall-time ceilings and emits a
+per-rule timing table in the JSON report (schema v3).
+
 Run it as ``python -m repro.cli lint --deep [paths]`` or through
 :func:`analyze_paths` / :func:`analyze_project`.  Findings are
 suppressable per line with ``# staticcheck: ignore[RULE1,RULE2]``;
@@ -50,9 +74,17 @@ from repro.staticcheck.base import (
     register,
     register_deep,
 )
+from repro.staticcheck.cache import AnalysisCache, CacheStats, git_changed_files
 from repro.staticcheck.callgraph import ProjectContext, build_project
 from repro.staticcheck.config import StaticcheckConfig, load_config
+from repro.staticcheck.dataflow import (
+    AttrFlow,
+    AttrFlowResult,
+    analyze_attr_flows,
+    file_dependencies,
+)
 from repro.staticcheck.driver import (
+    AnalysisStats,
     ModuleContext,
     analyze_paths,
     analyze_project,
@@ -67,8 +99,14 @@ from repro.staticcheck import rules_exceptions  # noqa: F401
 from repro.staticcheck import rules_locks  # noqa: F401
 from repro.staticcheck import rules_sensors  # noqa: F401
 from repro.staticcheck import rules_deep  # noqa: F401
+from repro.staticcheck import rules_atomic  # noqa: F401
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisStats",
+    "AttrFlow",
+    "AttrFlowResult",
+    "CacheStats",
     "DeepContext",
     "Finding",
     "LockFlow",
@@ -81,9 +119,12 @@ __all__ = [
     "TraceEntry",
     "all_deep_rules",
     "all_rules",
+    "analyze_attr_flows",
     "analyze_paths",
     "analyze_project",
     "build_project",
+    "file_dependencies",
+    "git_changed_files",
     "load_config",
     "parse_json",
     "register",

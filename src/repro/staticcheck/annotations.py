@@ -16,6 +16,14 @@ Annotations are ordinary comments attached to the line they govern:
   inserts (``bounded(capacity)``), the method that drains it
   (``bounded(flush)``), or the module constant fixing its key space
   (``bounded(TABLE_SOURCES)``).  Read by the deep GRW001 rule.
+* ``# staticcheck: atomic(<witness>)`` — on (or directly above) a line
+  the ATM/PUB dataflow rules report: the check-then-act or
+  read-modify-write sequence is in fact atomic, and ``witness`` names
+  the evidence — an outer mutex serializing every caller
+  (``atomic(_poll_mutex)``), a re-check of the condition under the
+  lock (``atomic(rechecked-under-lock)``), or a single-thread
+  ownership argument (``atomic(daemon-thread-only)``).  The witness is
+  mandatory: a bare ``atomic()`` does not waive anything.
 * ``# staticcheck: ignore`` / ``# staticcheck: ignore[LCK001,CLK001]``
   — suppress all / the listed findings reported for this line.
 
@@ -35,7 +43,7 @@ _DIRECTIVE_RE = re.compile(
     r"^(?P<name>[a-z-]+)\s*(?:[\(\[]\s*(?P<args>[^)\]]*)\s*[\)\]])?$"
 )
 
-KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "ignore")
+KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "atomic", "ignore")
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,14 @@ def import_aliases(tree: ast.AST) -> dict[str, str]:
     return aliases
 
 
+#: Container methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "discard",
+    "remove", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "move_to_end", "sort", "reverse",
+})
+
+
 def self_attribute(node: ast.expr) -> str | None:
     """Return ``attr`` when ``node`` is exactly ``self.<attr>``."""
     if (isinstance(node, ast.Attribute)
@@ -82,3 +90,74 @@ def ancestors(node: ast.AST,
     while current is not None:
         yield current
         current = parents.get(current)
+
+
+def expand_targets(target: ast.expr) -> Iterator[ast.expr]:
+    """Flatten tuple/list unpacking targets into leaf targets."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from expand_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from expand_targets(target.value)
+    else:
+        yield target
+
+
+def target_attr(target: ast.expr) -> str | None:
+    """``self.attr``, ``self.attr[i]`` or ``self.attr.field`` as the
+    mutated attribute ``attr``; None for non-self targets."""
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    attr = self_attribute(target)
+    if attr is not None:
+        return attr
+    if isinstance(target, ast.Attribute):
+        # self.attr.field = x mutates the object held in self.attr
+        return self_attribute(target.value)
+    return None
+
+
+def mutated_attr(node: ast.AST) -> tuple[str, ast.AST] | None:
+    """If ``node`` mutates ``self.<attr>``, return (attr, location).
+
+    Recognised: plain/augmented/annotated assignment to ``self.attr``
+    (including subscripted and dotted forms), ``del self.attr`` and
+    calls of known in-place container mutators
+    (``self.attr.append(...)``, ``.pop``, ``.clear``, ...).
+    """
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            for leaf in expand_targets(target):
+                attr = target_attr(leaf)
+                if attr is not None:
+                    return attr, node
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        attr = target_attr(node.target)
+        if attr is not None and not (
+                isinstance(node, ast.AnnAssign) and node.value is None):
+            return attr, node
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = target_attr(target)
+            if attr is not None:
+                return attr, node
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS):
+            attr = self_attribute(func.value)
+            if attr is not None:
+                return attr, node
+    return None
+
+
+def attr_reads(expr: ast.AST) -> set[str]:
+    """Names of every ``self.<attr>`` read inside ``expr``."""
+    reads: set[str] = set()
+    for node in ast.walk(expr):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)):
+            attr = self_attribute(node)
+            if attr is not None:
+                reads.add(attr)
+    return reads

@@ -1,0 +1,295 @@
+"""Incremental analysis cache (``--cache``).
+
+Analysis results persist under ``.staticcheck-cache/cache.json`` so a
+warm ``repro lint --deep`` re-analyzes nothing that did not change:
+
+* **Shallow entries** are per file, keyed by the sha256 of the file's
+  content.  A hit replays the stored findings without parsing.
+* **Deep entries** are whole-set: the interprocedural phase sees the
+  program, not a file, so its findings are reusable only when *every*
+  analyzed file hashes the same as when they were computed.  The entry
+  also stores the call-graph's direct file-level dependency edges
+  (:func:`~repro.staticcheck.dataflow.file_dependencies`), which
+  :meth:`AnalysisCache.explain` uses to say *why* a file is stale —
+  its own content changed, or a file it depends on (transitively) did
+  — and which ``--changed`` walks in reverse to find dependents.
+
+The whole cache is invalidated when the rule set changes (new rules,
+:data:`RULESET_VERSION` bump) or the effective configuration changes —
+both are folded into fingerprints checked at load time.  Every
+filesystem failure is soft: a cache that cannot be read or written
+degrades to a cold run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.staticcheck.base import rule_ids
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.findings import Finding
+
+RULESET_VERSION = 3
+"""Bumped whenever rule semantics change in a way that invalidates
+previously cached findings (new rule family, changed detection logic).
+Version 3: ATM001/ATM002/PUB001 dataflow rules."""
+
+_CACHE_FILE = "cache.json"
+
+
+def content_hash(source: str) -> str:
+    """sha256 of a file's content — the per-file cache key."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def ruleset_fingerprint() -> str:
+    """Hash of the rule-set version plus every registered rule id."""
+    payload = f"{RULESET_VERSION}:{','.join(rule_ids())}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: StaticcheckConfig) -> str:
+    """Hash of the effective configuration; any tunable change (budget
+    ceilings included) invalidates cached findings."""
+    parts = [
+        f"{f.name}={getattr(config, f.name)!r}"
+        for f in fields(config)
+    ]
+    return hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """What the cache did during one run (reported in JSON schema v3)."""
+
+    shallow_hits: int = 0
+    shallow_analyzed: int = 0
+    deep_from_cache: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shallow_hits": self.shallow_hits,
+            "shallow_analyzed": self.shallow_analyzed,
+            "deep_from_cache": self.deep_from_cache,
+        }
+
+
+@dataclass
+class AnalysisCache:
+    """Content-addressed store of shallow and deep findings."""
+
+    directory: Path
+    ruleset: str = field(default_factory=ruleset_fingerprint)
+    config_key: str = ""
+    shallow: dict[str, dict[str, Any]] = field(default_factory=dict)
+    """path -> {"hash": ..., "findings": [finding dicts]}."""
+    deep: dict[str, Any] = field(default_factory=dict)
+    """{"hashes": {path: hash}, "findings": [...],
+    "deps": {path: [paths]}} — or empty when nothing deep is cached."""
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    @classmethod
+    def open(cls, directory: Path | str,
+             config: StaticcheckConfig) -> "AnalysisCache":
+        """Load the cache under ``directory``, discarding it wholesale
+        on fingerprint mismatch, corruption, or read failure."""
+        cache = cls(directory=Path(directory),
+                    config_key=config_fingerprint(config))
+        try:
+            raw = (cache.directory / _CACHE_FILE).read_text(
+                encoding="utf-8")
+            data = json.loads(raw)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(data, dict):
+            return cache
+        if (data.get("ruleset") != cache.ruleset
+                or data.get("config") != cache.config_key):
+            return cache
+        shallow = data.get("shallow")
+        if isinstance(shallow, dict):
+            cache.shallow = {
+                path: entry for path, entry in shallow.items()
+                if isinstance(entry, dict) and "hash" in entry
+            }
+        deep = data.get("deep")
+        if isinstance(deep, dict) and "hashes" in deep:
+            cache.deep = deep
+        return cache
+
+    # -- shallow (per-file) --------------------------------------------------
+
+    def shallow_lookup(self, path: str,
+                       source_hash: str) -> list[Finding] | None:
+        """Stored findings for ``path`` at exactly this content hash."""
+        entry = self.shallow.get(path)
+        if entry is None or entry.get("hash") != source_hash:
+            return None
+        try:
+            findings = [Finding.from_dict(item)
+                        for item in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.stats.shallow_hits += 1
+        return findings
+
+    def shallow_store(self, path: str, source_hash: str,
+                      findings: Sequence[Finding]) -> None:
+        self.stats.shallow_analyzed += 1
+        self.shallow[path] = {
+            "hash": source_hash,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+
+    # -- deep (whole program) ------------------------------------------------
+
+    def deep_lookup(self, hashes: Mapping[str, str],
+                    ) -> list[Finding] | None:
+        """Stored deep findings, valid only when the analyzed file set
+        and every content hash match exactly."""
+        stored = self.deep.get("hashes")
+        if stored != dict(hashes):
+            return None
+        try:
+            findings = [Finding.from_dict(item)
+                        for item in self.deep.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.stats.deep_from_cache = True
+        return findings
+
+    def deep_store(self, hashes: Mapping[str, str],
+                   findings: Sequence[Finding],
+                   deps: Mapping[str, Sequence[str]]) -> None:
+        self.deep = {
+            "hashes": dict(hashes),
+            "findings": [finding.to_dict() for finding in findings],
+            "deps": {path: list(targets)
+                     for path, targets in deps.items()},
+        }
+
+    # -- staleness explanation and reverse dependents ------------------------
+
+    def explain(self, current_hashes: Mapping[str, str],
+                ) -> dict[str, str]:
+        """Why each file needs (deep) re-analysis against the cached
+        state: ``"content-changed"`` (its own hash differs, or it is
+        new), ``"dependent-changed"`` (a file it transitively depends
+        on changed).  Fresh files are absent from the result."""
+        stored: Mapping[str, str] = self.deep.get("hashes", {})
+        changed = {
+            path for path, digest in current_hashes.items()
+            if stored.get(path) != digest
+        }
+        reasons = {path: "content-changed" for path in changed}
+        deps: Mapping[str, Sequence[str]] = self.deep.get("deps", {})
+        for path in current_hashes:
+            if path in reasons:
+                continue
+            if self._reaches(path, changed, deps):
+                reasons[path] = "dependent-changed"
+        return reasons
+
+    def dependents(self, paths: Sequence[str]) -> set[str]:
+        """Reverse transitive closure over the stored dependency
+        edges: every file whose analysis can observe ``paths``."""
+        deps: Mapping[str, Sequence[str]] = self.deep.get("deps", {})
+        return reverse_dependents(deps, paths)
+
+    def _reaches(self, path: str, targets: set[str],
+                 deps: Mapping[str, Sequence[str]]) -> bool:
+        seen: set[str] = set()
+        frontier = [path]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for dep in deps.get(current, ()):
+                if dep in targets:
+                    return True
+                frontier.append(dep)
+        return False
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> bool:
+        """Write atomically (tmp + replace); False on any OS failure."""
+        payload = {
+            "ruleset": self.ruleset,
+            "config": self.config_key,
+            "shallow": self.shallow,
+            "deep": self.deep,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.directory / f"{_CACHE_FILE}.tmp"
+            tmp.write_text(
+                json.dumps(payload, indent=1, sort_keys=True),
+                encoding="utf-8")
+            tmp.replace(self.directory / _CACHE_FILE)
+        except OSError:
+            return False
+        return True
+
+
+def reverse_dependents(deps: Mapping[str, Sequence[str]],
+                       seeds: Sequence[str]) -> set[str]:
+    """All files that transitively depend on any seed (seeds
+    included): the re-analysis set for ``--changed``."""
+    reverse: dict[str, set[str]] = {}
+    for source, targets in deps.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(source)
+    result: set[str] = set()
+    frontier = list(seeds)
+    while frontier:
+        current = frontier.pop()
+        if current in result:
+            continue
+        result.add(current)
+        frontier.extend(reverse.get(current, ()))
+    return result
+
+
+def git_changed_files(root: Path | str = ".") -> set[str] | None:
+    """Paths changed relative to the branch point (``--changed``):
+    ``git diff --name-only <merge-base>`` plus untracked files.  The
+    base is ``origin/main``, falling back to local ``main`` and then
+    plain ``HEAD``; None when git itself is unavailable or errors."""
+    root = Path(root)
+
+    def run(*args: str) -> str | None:
+        try:
+            completed = subprocess.run(
+                ["git", *args], cwd=root, check=False,
+                capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if completed.returncode != 0:
+            return None
+        return completed.stdout
+
+    base: str | None = None
+    for ref in ("origin/main", "main", "HEAD"):
+        out = run("merge-base", "HEAD", ref)
+        if out is not None and out.strip():
+            base = out.strip()
+            break
+    if base is None:
+        return None
+    diff = run("diff", "--name-only", base)
+    if diff is None:
+        return None
+    changed = {line.strip() for line in diff.splitlines() if line.strip()}
+    untracked = run("ls-files", "--others", "--exclude-standard")
+    if untracked is not None:
+        changed.update(
+            line.strip() for line in untracked.splitlines()
+            if line.strip())
+    return changed

@@ -4,6 +4,13 @@ Runs the project-specific AST rules, then (in text mode) ruff and mypy
 when they are installed; environments without them just get a "skipped"
 note, so the custom analysis works from a bare checkout.
 
+``--deep`` adds the interprocedural phase; ``--cache`` makes both
+phases incremental (results keyed by content hash under
+``--cache-dir``, default ``.staticcheck-cache``); ``--budget``
+enforces per-rule wall-time ceilings (BGT001 on overrun); ``--changed``
+narrows the shallow phase to the files changed since the branch point
+plus their reverse call-graph dependents.
+
 Exit status: 0 when everything is clean, 1 on any finding or
 third-party tool failure, 2 on usage errors.
 """
@@ -19,11 +26,20 @@ from typing import Sequence
 
 import repro.staticcheck  # noqa: F401  (registers all rules)
 from repro.staticcheck.base import all_deep_rules, all_rules
+from repro.staticcheck.cache import AnalysisCache, git_changed_files
 from repro.staticcheck.config import load_config
-from repro.staticcheck.driver import analyze_paths, analyze_project
+from repro.staticcheck.dataflow import file_dependencies
+from repro.staticcheck.driver import (
+    AnalysisStats,
+    analyze_paths,
+    analyze_project,
+    budget_findings,
+    iter_python_files,
+)
 from repro.staticcheck.reporters import render_json, render_text
 
 DEFAULT_PATHS = ("src/repro",)
+DEFAULT_CACHE_DIR = ".staticcheck-cache"
 
 
 def _run_tool(module: str, arguments: list[str]) -> int | None:
@@ -33,6 +49,36 @@ def _run_tool(module: str, arguments: list[str]) -> int | None:
     completed = subprocess.run(
         [sys.executable, "-m", module, *arguments], check=False)
     return completed.returncode
+
+
+def _changed_targets(paths: Sequence[str]) -> list[str] | None:
+    """The ``--changed`` file set: files under ``paths`` changed since
+    the branch point, plus every file whose analysis can observe them
+    (reverse call-graph dependents).  None means "no git" — the caller
+    falls back to a full run."""
+    changed = git_changed_files()
+    if changed is None:
+        return None
+    all_files = [str(p) for p in iter_python_files(paths)]
+    in_scope = sorted(set(all_files) & changed)
+    if not in_scope:
+        return []
+    # Build the call graph over the full path set so dependents of the
+    # changed files are re-analyzed too.
+    from repro.staticcheck.annotations import AnnotationError
+    from repro.staticcheck.cache import reverse_dependents
+    from repro.staticcheck.callgraph import build_project
+    from repro.staticcheck.driver import ModuleContext
+
+    modules = []
+    for path in all_files:
+        try:
+            modules.append(ModuleContext.from_source(
+                path, Path(path).read_text(encoding="utf-8")))
+        except (OSError, SyntaxError, AnnotationError):
+            continue
+    deps = file_dependencies(build_project(modules))
+    return sorted(reverse_dependents(deps, in_scope) & set(all_files))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -51,8 +97,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "never ruff/mypy")
     parser.add_argument("--deep", action="store_true",
                         help="also run the interprocedural phase "
-                             "(call graph + held-lock propagation: "
-                             "LCK003/LCK004/GRW001/SNS002)")
+                             "(call graph, held-lock propagation and "
+                             "attribute dataflow: LCK003/LCK004/"
+                             "GRW001/SNS002/ATM001/ATM002/PUB001)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse results for unchanged files from "
+                             "the analysis cache (and refresh it)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="analysis cache location "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--budget", action="store_true",
+                        help="enforce per-rule wall-time ceilings "
+                             "(rule_budget_default_s / "
+                             "rule_budget_overrides); overruns fail "
+                             "the lint with BGT001")
+    parser.add_argument("--changed", action="store_true",
+                        help="analyze only files changed since the "
+                             "branch point plus their call-graph "
+                             "dependents (shallow phase)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     arguments = parser.parse_args(argv)
@@ -72,13 +134,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     config = load_config(Path(arguments.paths[0]))
-    findings = analyze_paths(arguments.paths, config)
+    cache = (AnalysisCache.open(arguments.cache_dir, config)
+             if arguments.cache else None)
+    stats = AnalysisStats()
+
+    shallow_paths: Sequence[str] = arguments.paths
+    if arguments.changed:
+        narrowed = _changed_targets(arguments.paths)
+        if narrowed is None:
+            print("repro lint: --changed needs git; analyzing "
+                  "everything", file=sys.stderr)
+        else:
+            shallow_paths = narrowed
+
+    findings = analyze_paths(shallow_paths, config,
+                             cache=cache, stats=stats)
     if arguments.deep:
-        findings.extend(analyze_project(arguments.paths, config))
+        findings.extend(analyze_project(arguments.paths, config,
+                                        cache=cache, stats=stats))
         findings.sort(key=lambda f: f.sort_key)
+    if arguments.budget:
+        findings.extend(budget_findings(stats, config))
+    if cache is not None:
+        cache.save()
 
     if arguments.output_format == "json":
-        print(render_json(findings))
+        print(render_json(
+            findings,
+            timings=stats.timing_rows(),
+            cache=cache.stats.to_dict() if cache is not None else None))
         return 1 if findings else 0
 
     print(render_text(findings))

@@ -101,9 +101,30 @@ class StaticcheckConfig:
     cardinality; loops over them inside sensor record paths break the
     constant per-call sensor budget (SNS002)."""
 
+    rule_budget_default_s: float = 5.0
+    """Per-rule wall-time ceiling in seconds enforced by ``--budget``;
+    rules whose accumulated analysis time exceeds it fail the lint
+    with a BGT001 finding."""
+
+    rule_budget_overrides: tuple[str, ...] = ()
+    """Per-rule ceilings as ``"RULE=seconds"`` strings, e.g.
+    ``("LCK003=10", "GRW001=2.5")``.  A ceiling of ``0`` makes any
+    measurable time an overrun (useful for tests)."""
+
     def path_matches(self, path: str, patterns: tuple[str, ...]) -> bool:
         posix = Path(path).as_posix()
         return any(fnmatch(posix, pattern) for pattern in patterns)
+
+    def rule_budget_s(self, rule_id: str) -> float:
+        """Effective wall-time ceiling for ``rule_id``."""
+        for override in self.rule_budget_overrides:
+            name, _, value = override.partition("=")
+            if name.strip() == rule_id:
+                try:
+                    return float(value)
+                except ValueError:
+                    break
+        return self.rule_budget_default_s
 
 
 def load_config(start: Path | str | None = None) -> StaticcheckConfig:
@@ -136,9 +157,12 @@ def load_config(start: Path | str | None = None) -> StaticcheckConfig:
     if not isinstance(section, dict) or not section:
         return defaults
     known = {f.name for f in fields(StaticcheckConfig)}
-    overrides = {
-        key: tuple(str(item) for item in value)
-        for key, value in section.items()
-        if key in known and isinstance(value, list)
-    }
+    overrides: dict[str, object] = {}
+    for key, value in section.items():
+        if key not in known:
+            continue
+        if isinstance(value, list):
+            overrides[key] = tuple(str(item) for item in value)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            overrides[key] = float(value)
     return StaticcheckConfig(**overrides)  # type: ignore[arg-type]

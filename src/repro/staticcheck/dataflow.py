@@ -1,0 +1,294 @@
+"""Field-sensitive dataflow over shared attributes.
+
+The lock-discipline rules (LCK001/2) only see attributes a developer
+*annotated* as shared.  This layer closes the gap: it derives, per
+class, which lock actually guards each attribute — from where the
+writes happen — and tracks how attribute values flow through local
+variables and ``if``/``while`` tests.  It is built directly on the
+``--deep`` phase's call graph and lock flow:
+
+* **Write sites** — every mutation of ``self.<attr>`` outside
+  ``__init__``, with the lock tokens *lexically* held there (enclosing
+  ``with self.<lock>:`` regions and ``guarded-by`` directives, via
+  :class:`~repro.staticcheck.lockflow.LockFlow` regions).
+* **Guard inference** — an attribute's guard is the unique lock token
+  held at every *locked* write site.  Unlocked writes do not disable
+  inference (they are exactly the candidate findings); attributes with
+  no locked write have no inferred guard.
+* **Held-lock queries** — whether a given site holds a token, counting
+  lexical regions *plus* the interprocedural entry-locks fixpoint
+  (``LockFlowResult.entry_locks``), so helpers that are only ever
+  called under a lock are not flagged.
+* **Transitive write closure** — which attributes a method writes
+  through ``self.<m>()`` call chains, for check-then-act "act" sites
+  that mutate through a helper.
+
+Consumed by the ATM001/ATM002/PUB001 rules in
+:mod:`repro.staticcheck.rules_atomic`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.astutil import ancestors, attr_reads, mutated_attr
+from repro.staticcheck.callgraph import (
+    ClassDecl,
+    FunctionDecl,
+    ProjectContext,
+)
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.lockflow import DeepContext, lock_attrs_of
+
+_MAX_DEPTH = 12
+
+
+@dataclass
+class WriteSite:
+    """One mutation of ``self.<attr>`` in a method body."""
+
+    attr: str
+    function: str
+    """Qualname of the method containing the write."""
+    node: ast.AST
+    line: int
+    column: int
+    held: frozenset[str]
+    """Lock tokens lexically held at the write."""
+    is_rmw: bool
+    """Read-modify-write: ``self.n += 1``, ``self.n = f(self.n)``,
+    ``self.d[k] = self.d.get(k, ...)`` — a lost update unless the
+    whole sequence runs under the guard."""
+
+
+@dataclass
+class ClassAttrFlow:
+    """Per-class result of the attribute dataflow."""
+
+    decl: ClassDecl
+    guards: dict[str, str] = field(default_factory=dict)
+    """attr -> lock token inferred to guard its writes."""
+    declared_shared: set[str] = field(default_factory=set)
+    """Attrs covered by an explicit ``shared(...)`` annotation (owned
+    by LCK001; the ATM rules skip them to avoid double reports)."""
+    writes: dict[str, list[WriteSite]] = field(default_factory=dict)
+
+
+@dataclass
+class AttrFlowResult:
+    """What :func:`analyze_attr_flows` computed for the program."""
+
+    classes: dict[str, ClassAttrFlow] = field(default_factory=dict)
+
+
+class AttrFlow:
+    """Runs the attribute dataflow over a deep-analyzed project."""
+
+    def __init__(self, deep: DeepContext,
+                 config: StaticcheckConfig) -> None:
+        self.deep = deep
+        self.project = deep.project
+        self.config = config
+        self.flows = AttrFlowResult()
+        self._write_closure: dict[str, set[str]] = {}
+
+    # -- lock queries -------------------------------------------------------
+
+    def lexically_held(self, fq: str, node: ast.AST) -> frozenset[str]:
+        """Tokens of regions of ``fq`` containing ``node`` (enclosing
+        ``with`` blocks and the guarded-by whole-body region)."""
+        decl = self.project.functions.get(fq)
+        if decl is None:
+            return frozenset()
+        parents = decl.module.parents
+        held: set[str] = set()
+        for region in self.deep.lockflow.regions.get(fq, ()):
+            if region.node is node:
+                held.add(region.site.token)
+                continue
+            for ancestor in ancestors(node, parents):
+                if ancestor is region.node:
+                    held.add(region.site.token)
+                    break
+        return frozenset(held)
+
+    def held_at(self, fq: str, node: ast.AST) -> frozenset[str]:
+        """All tokens known held at ``node``: lexical regions plus the
+        locks every resolved caller of ``fq`` holds (entry fixpoint)."""
+        entry = self.deep.lockflow.entry_locks.get(fq, frozenset())
+        return self.lexically_held(fq, node) | entry
+
+    # -- write collection and guard inference -------------------------------
+
+    def analyze(self) -> AttrFlowResult:
+        result = AttrFlowResult()
+        for qualname, decl in self.project.classes.items():
+            flow = self._class_flow(qualname, decl)
+            if flow is not None:
+                result.classes[qualname] = flow
+        self.flows = result
+        return result
+
+    def _class_flow(self, qualname: str,
+                    decl: ClassDecl) -> ClassAttrFlow | None:
+        lock_tokens = {
+            f"{qualname}.{canonical}"
+            for canonical in lock_attrs_of(self.project, decl).values()
+        }
+        if not lock_tokens:
+            return None
+        flow = ClassAttrFlow(decl=decl)
+        flow.declared_shared = _shared_annotated_attrs(decl)
+        for method_fq in decl.methods.values():
+            method = self.project.functions.get(method_fq)
+            if method is None or method.name == "__init__":
+                continue
+            for site in self._method_writes(method):
+                flow.writes.setdefault(site.attr, []).append(site)
+        for attr, sites in flow.writes.items():
+            guard = _infer_guard(sites, lock_tokens)
+            if guard is not None:
+                flow.guards[attr] = guard
+        return flow
+
+    def _method_writes(self, method: FunctionDecl) -> list[WriteSite]:
+        sites: list[WriteSite] = []
+        for node in ast.walk(method.node):
+            mutation = mutated_attr(node)
+            if mutation is None:
+                continue
+            attr, location = mutation
+            sites.append(WriteSite(
+                attr=attr,
+                function=method.qualname,
+                node=location,
+                line=getattr(location, "lineno", method.node.lineno),
+                column=getattr(location, "col_offset", 0),
+                held=self.lexically_held(method.qualname, location),
+                is_rmw=_is_rmw(location, attr),
+            ))
+        return sites
+
+    # -- transitive writes through self-calls --------------------------------
+
+    def writes_transitively(self, method_fq: str,
+                            class_qualname: str) -> set[str]:
+        """Attrs ``method_fq`` writes, directly or through bounded
+        same-class ``self.<m>()`` call chains."""
+        cached = self._write_closure.get(method_fq)
+        if cached is not None:
+            return cached
+        closure = self._closure(method_fq, class_qualname,
+                                visited=set(), depth=0)
+        self._write_closure[method_fq] = closure
+        return closure
+
+    def _closure(self, method_fq: str, class_qualname: str,
+                 visited: set[str], depth: int) -> set[str]:
+        if method_fq in visited or depth > _MAX_DEPTH:
+            return set()
+        visited.add(method_fq)
+        method = self.project.functions.get(method_fq)
+        if method is None:
+            return set()
+        written: set[str] = set()
+        for node in ast.walk(method.node):
+            mutation = mutated_attr(node)
+            if mutation is not None:
+                written.add(mutation[0])
+        prefix = f"{class_qualname}."
+        for edge in self.project.calls_from(method_fq):
+            if edge.external or not edge.callee.startswith(prefix):
+                continue
+            written |= self._closure(edge.callee, class_qualname,
+                                     visited, depth + 1)
+        return written
+
+
+def _shared_annotated_attrs(decl: ClassDecl) -> set[str]:
+    """Attrs with a ``shared(...)`` annotation anywhere in the class's
+    module — LCK001 already enforces their guard, so the inference-
+    based ATM002 rule leaves them alone."""
+    annotated: set[str] = set()
+    module = decl.module
+    for node in ast.walk(decl.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            for line in range(node.lineno, end + 1):
+                if module.directives(line, "shared"):
+                    annotated.add(target.attr)
+    return annotated
+
+
+def _infer_guard(sites: list[WriteSite],
+                 lock_tokens: set[str]) -> str | None:
+    """The unique lock token held at every locked write site; None
+    when no write is locked or the locked writes disagree."""
+    common: set[str] | None = None
+    for site in sites:
+        held = set(site.held)
+        if not held:
+            continue  # an unlocked write is a candidate finding
+        common = held if common is None else (common & held)
+    if not common:
+        return None
+    candidates = sorted(common & lock_tokens) or sorted(common)
+    return candidates[0]
+
+
+def _is_rmw(node: ast.AST, attr: str) -> bool:
+    """Whether this write reads the attribute it assigns."""
+    if isinstance(node, ast.AugAssign):
+        return True
+    if isinstance(node, ast.Assign):
+        return attr in attr_reads(node.value)
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return attr in attr_reads(node.value)
+    return False
+
+
+def analyze_attr_flows(deep: DeepContext, config: StaticcheckConfig,
+                       ) -> AttrFlowResult:
+    """Convenience entry point: run the pass, return the flows."""
+    return AttrFlow(deep, config).analyze()
+
+
+def attr_flows_for(deep: DeepContext,
+                   config: StaticcheckConfig) -> AttrFlow:
+    """Memoized analyzer on the shared :class:`DeepContext` — the ATM
+    rules all consume the same pass instead of re-running it."""
+    if deep.attr_flows is None:
+        analyzer = AttrFlow(deep, config)
+        analyzer.analyze()
+        deep.attr_flows = analyzer
+    return deep.attr_flows
+
+
+def file_dependencies(project: ProjectContext) -> dict[str, list[str]]:
+    """Direct file-level dependency edges from the call graph: file A
+    depends on file B when a function in A has a resolved call edge
+    into a function declared in B.  Consumed by the incremental cache
+    (dependency fingerprints) and ``--changed`` (reverse dependents)."""
+    deps: dict[str, set[str]] = {path: set() for path in project.modules}
+    for caller_fq, edges in project.edges.items():
+        caller = project.functions.get(caller_fq)
+        if caller is None:
+            continue
+        for edge in edges:
+            if edge.external:
+                continue
+            callee = project.functions.get(edge.callee)
+            if callee is None or callee.module.path == caller.module.path:
+                continue
+            deps[caller.module.path].add(callee.module.path)
+    return {path: sorted(targets) for path, targets in deps.items()}

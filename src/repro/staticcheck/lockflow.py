@@ -28,6 +28,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.dataflow import AttrFlow
 
 from repro.staticcheck.astutil import ancestors, dotted_segments, self_attribute
 from repro.staticcheck.callgraph import (
@@ -100,10 +104,18 @@ class BlockingChain:
 
 @dataclass
 class LockFlowResult:
-    """What the propagation found, consumed by LCK003/LCK004."""
+    """What the propagation found, consumed by LCK003/LCK004 and by
+    the attribute dataflow layer (:mod:`repro.staticcheck.dataflow`)."""
 
     order_edges: list[OrderEdge] = field(default_factory=list)
     blocking: list[BlockingChain] = field(default_factory=list)
+    regions: dict[str, list[Region]] = field(default_factory=dict)
+    """Function qualname -> its lock-holding lexical regions."""
+    entry_locks: dict[str, frozenset[str]] = field(default_factory=dict)
+    """Function qualname -> lock tokens held at entry on *every*
+    resolved call path into it (the meet over all call sites).  A
+    function with no project-internal caller gets the empty set — it
+    may be a thread entry point or a public API called lock-free."""
 
 
 @dataclass
@@ -112,6 +124,10 @@ class DeepContext:
 
     project: ProjectContext
     lockflow: LockFlowResult
+    attr_flows: "AttrFlow | None" = None
+    """Lazily computed by the ATM/PUB rules via
+    :func:`repro.staticcheck.dataflow.attr_flows_for` so the
+    field-sensitive pass runs once per project, not once per rule."""
 
 
 def lock_attrs_of(project: ProjectContext,
@@ -262,7 +278,55 @@ class LockFlow:
 
     # -- propagation --------------------------------------------------------
 
+    def tokens_at(self, fq: str, node: ast.AST) -> frozenset[str]:
+        """Lock tokens of the regions of ``fq`` lexically containing
+        ``node`` (acquisitions visible inside the function itself)."""
+        decl = self.project.functions.get(fq)
+        if decl is None:
+            return frozenset()
+        parents = decl.module.parents
+        return frozenset(
+            region.site.token for region in self._regions.get(fq, ())
+            if self._contains(region, node, parents)
+        )
+
+    def _propagate_entry_locks(self) -> dict[str, frozenset[str]]:
+        """Fixpoint: locks held at a function's entry on every call
+        path.  ``entry(f) = ⋂ over internal call sites of
+        (entry(caller) ∪ locks lexically held at the site)``; functions
+        without internal callers start (and stay) at the empty set.
+        ``None`` is the lattice top (no call site seen yet); the
+        intersection only ever shrinks, so iteration terminates."""
+        incoming: dict[str, list[CallEdge]] = {}
+        for fq in self.project.functions:
+            for edge in self.project.calls_from(fq):
+                if not edge.external and edge.callee in self.project.functions:
+                    incoming.setdefault(edge.callee, []).append(edge)
+        entry: dict[str, frozenset[str] | None] = {
+            fq: (None if fq in incoming else frozenset())
+            for fq in self.project.functions
+        }
+        for _ in range(len(self.project.functions) + 1):
+            changed = False
+            for callee, edges in incoming.items():
+                meet: frozenset[str] | None = None
+                for edge in edges:
+                    base = entry.get(edge.caller)
+                    if base is None:
+                        continue  # caller still at top: no constraint yet
+                    held = base | self.tokens_at(edge.caller, edge.node)
+                    meet = held if meet is None else (meet & held)
+                if meet is not None and meet != entry[callee]:
+                    entry[callee] = meet
+                    changed = True
+            if not changed:
+                break
+        return {fq: (locks if locks is not None else frozenset())
+                for fq, locks in entry.items()}
+
     def analyze(self) -> LockFlowResult:
+        self.result.regions = dict(self._regions)
+        self.result.entry_locks = self._propagate_entry_locks()
         for fq, regions in self._regions.items():
             decl = self.project.functions[fq]
             parents = decl.module.parents

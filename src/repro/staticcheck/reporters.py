@@ -4,14 +4,19 @@ from __future__ import annotations
 
 import json
 from collections import Counter
+from typing import Any
 
 from repro.staticcheck.findings import Finding
 
-JSON_VERSION = 2
-"""Version 2 adds the ``trace`` key (interprocedural evidence chain)
-to every finding; version-1 payloads (no trace) still parse."""
+JSON_VERSION = 3
+"""Version 3 adds the ``timings`` table (one row per rule: accumulated
+seconds, plus budget ceiling and over-budget flag when ``--budget`` is
+enforced) and the optional ``cache`` summary (shallow hits/analyzed,
+deep-from-cache).  Version 2 added the ``trace`` key (interprocedural
+evidence chain) to every finding; version-1 payloads (no trace) still
+parse."""
 
-_ACCEPTED_VERSIONS = frozenset({1, JSON_VERSION})
+_ACCEPTED_VERSIONS = frozenset({1, 2, JSON_VERSION})
 
 
 def render_text(findings: list[Finding]) -> str:
@@ -28,16 +33,24 @@ def render_text(findings: list[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: list[Finding]) -> str:
-    """Machine-readable report; round-trips through :func:`parse_json`."""
-    return json.dumps(
-        {
-            "version": JSON_VERSION,
-            "findings": [finding.to_dict() for finding in findings],
-        },
-        indent=2,
-        sort_keys=True,
-    )
+def render_json(findings: list[Finding],
+                timings: list[dict[str, Any]] | None = None,
+                cache: dict[str, Any] | None = None) -> str:
+    """Machine-readable report; round-trips through :func:`parse_json`.
+
+    ``timings`` is the per-rule table from
+    :meth:`~repro.staticcheck.driver.AnalysisStats.timing_rows`;
+    ``cache`` is a :meth:`~repro.staticcheck.cache.CacheStats.to_dict`
+    summary, present only when a cache was in play.
+    """
+    payload: dict[str, Any] = {
+        "version": JSON_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "timings": timings if timings is not None else [],
+    }
+    if cache is not None:
+        payload["cache"] = cache
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def parse_json(text: str) -> list[Finding]:

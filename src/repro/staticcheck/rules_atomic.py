@@ -1,0 +1,505 @@
+"""ATM/PUB — atomicity and safe-publication rule families (``--deep``).
+
+``ATM001`` — check-then-act.  A field whose writes the dataflow layer
+infers to be guarded by a lock is *tested* (an ``if``/``while``
+condition) either without that lock or through a stale local snapshot
+taken under an earlier acquisition, and the branch then *acts* on the
+field (writes it, directly or through a same-class helper).  Between
+the test and the act another thread can change the field, so the act
+runs on a decision that is no longer true.
+
+``ATM002`` — compound read-modify-write.  ``self.n += 1`` or
+``self.d[k] = self.d.get(k, 0) + 1`` on an attribute guarded elsewhere
+by a lock, executed without that lock: two threads interleaving the
+read and the write lose one update.  The guard is *inferred* from
+where the attribute's locked writes happen — no annotation needed
+(annotated attributes stay LCK001's job).
+
+``PUB001`` — unsafe publication.  ``self`` escapes ``__init__`` — a
+thread targeting a bound method is started, ``self`` is handed to a
+callback registry or foreign call, or stored in a module global —
+while attributes assigned later in ``__init__`` do not exist yet.  The
+receiving thread can observe a half-constructed object.
+
+A deliberate, evidenced exception is declared with
+``# staticcheck: atomic(<witness>)`` on (or directly above) the
+reported line, where ``<witness>`` names what makes the sequence
+atomic — typically an outer mutex serializing all callers
+(``atomic(_poll_mutex)``) or a re-check under the lock
+(``atomic(rechecked-under-lock)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.staticcheck.astutil import (
+    ancestors,
+    attr_reads,
+    dotted_segments,
+    mutated_attr,
+)
+from repro.staticcheck.base import ProjectRule, register_deep
+from repro.staticcheck.callgraph import (
+    ClassDecl,
+    FunctionDecl,
+    _external_dotted,
+)
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.dataflow import AttrFlow, ClassAttrFlow, attr_flows_for
+from repro.staticcheck.driver import ModuleContext
+from repro.staticcheck.findings import Finding, Severity, TraceEntry
+from repro.staticcheck.lockflow import DeepContext
+
+
+def _waived(module: ModuleContext, line: int) -> bool:
+    """An ``atomic(<witness>)`` directive on the line or the line above
+    waives the ATM/PUB finding; the witness argument is mandatory —
+    an unexplained waiver is no waiver."""
+    for candidate in (line, line - 1):
+        for directive in module.directives(candidate, "atomic"):
+            if directive.args:
+                return True
+    return False
+
+
+@dataclass
+class _Act:
+    """Where a branch writes the tested attribute."""
+
+    line: int
+    function: str
+    note: str
+
+
+def _short(token: str) -> str:
+    """``repro.core.daemon.StorageDaemon._lock`` -> ``self._lock``."""
+    return f"self.{token.rsplit('.', 1)[-1]}"
+
+
+class _AtomicRuleBase(ProjectRule):
+    """Shared iteration over classes with inferred guards."""
+
+    def _class_flows(self, deep: DeepContext, config: StaticcheckConfig,
+                     ) -> Iterable[tuple[str, ClassAttrFlow, AttrFlow]]:
+        analyzer = attr_flows_for(deep, config)
+        for qualname in sorted(analyzer.flows.classes):
+            flow = analyzer.flows.classes[qualname]
+            if flow.guards:
+                yield qualname, flow, analyzer
+
+
+@register_deep
+class CheckThenActRule(_AtomicRuleBase):
+    """ATM001 — guarded field tested and acted on non-atomically."""
+
+    rule_id = "ATM001"
+    summary = ("a lock-guarded field must not be tested without the "
+               "lock (or via a stale snapshot) and then acted on — "
+               "the decision can be invalidated between test and act")
+    default_severity = Severity.ERROR
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for qualname, flow, analyzer in self._class_flows(deep, config):
+            for method_fq in sorted(flow.decl.methods.values()):
+                method = deep.project.functions.get(method_fq)
+                if method is None or method.name == "__init__":
+                    continue
+                yield from self._check_method(deep, flow, analyzer,
+                                              qualname, method)
+
+    def _check_method(self, deep: DeepContext, flow: ClassAttrFlow,
+                      analyzer: AttrFlow, class_qualname: str,
+                      method: FunctionDecl) -> Iterable[Finding]:
+        module = method.module
+        snapshots: dict[str, tuple[str, str, ast.AST, int]] = {}
+        # local name -> (attr, guard token, region source node, line)
+        events: list[tuple[int, ast.AST]] = sorted(
+            ((node.lineno, node) for node in ast.walk(method.node)
+             if isinstance(node, (ast.Assign, ast.If, ast.While))),
+            key=lambda pair: pair[0])
+        for line, node in events:
+            if isinstance(node, ast.Assign):
+                self._track_snapshot(flow, analyzer, method, node,
+                                     snapshots)
+                continue
+            yield from self._check_test(deep, flow, analyzer,
+                                        class_qualname, method,
+                                        module, node, snapshots)
+
+    def _track_snapshot(self, flow: ClassAttrFlow, analyzer: AttrFlow,
+                        method: FunctionDecl, node: ast.Assign,
+                        snapshots: dict[str, tuple[str, str, ast.AST, int]],
+                        ) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0],
+                                                    ast.Name):
+            return
+        name = node.targets[0].id
+        snapshots.pop(name, None)  # reassignment invalidates
+        read = sorted(attr_reads(node.value) & set(flow.guards))
+        if not read:
+            return
+        attr = read[0]
+        token = flow.guards[attr]
+        if token not in analyzer.lexically_held(method.qualname, node):
+            return  # not taken under the guard: P1 handles raw tests
+        snapshots[name] = (attr, token, node, node.lineno)
+
+    def _check_test(self, deep: DeepContext, flow: ClassAttrFlow,
+                    analyzer: AttrFlow, class_qualname: str,
+                    method: FunctionDecl, module: ModuleContext,
+                    node: ast.If | ast.While,
+                    snapshots: dict[str, tuple[str, str, ast.AST, int]],
+                    ) -> Iterable[Finding]:
+        held = analyzer.held_at(method.qualname, node)
+        # P1: the test reads the guarded field with the guard not held.
+        for attr in sorted(attr_reads(node.test) & set(flow.guards)):
+            token = flow.guards[attr]
+            if token in held or _waived(module, node.lineno):
+                continue
+            act = self._act_on(deep, analyzer, class_qualname,
+                               method, node, attr)
+            if act is None:
+                continue
+            yield self.finding(
+                module.path, node.lineno, node.col_offset,
+                f"check-then-act: self.{attr} is tested without "
+                f"{_short(token)} (which guards its writes) and the "
+                f"branch then {act.note}; another thread can change "
+                f"self.{attr} between the test and the act — test and "
+                f"act under one `with {_short(token)}:` block, or waive "
+                f"with `# staticcheck: atomic(<witness>)`",
+                trace=[
+                    TraceEntry(module.path, node.lineno, method.qualname,
+                               f"tests self.{attr} without "
+                               f"{_short(token)}"),
+                    TraceEntry(module.path, act.line, act.function,
+                               act.note),
+                ],
+            )
+        # P2: the test consumes a snapshot taken under a previous
+        # acquisition — the lock was released in between.
+        for name in sorted(_name_reads(node.test) & set(snapshots)):
+            attr, token, origin, taken_line = snapshots[name]
+            if token in held or _waived(module, node.lineno):
+                continue
+            if _within(node, origin, module):
+                continue  # still inside the region that took it
+            act = self._act_on(deep, analyzer, class_qualname,
+                               method, node, attr)
+            if act is None:
+                continue
+            yield self.finding(
+                module.path, node.lineno, node.col_offset,
+                f"check-then-act across a lock release: `{name}` "
+                f"snapshots self.{attr} under {_short(token)} (line "
+                f"{taken_line}), the lock is released, and the branch "
+                f"then {act.note}; re-check self.{attr} under "
+                f"{_short(token)} before acting, or waive with "
+                f"`# staticcheck: atomic(<witness>)`",
+                trace=[
+                    TraceEntry(module.path, taken_line, method.qualname,
+                               f"snapshots self.{attr} into `{name}` "
+                               f"under {_short(token)}"),
+                    TraceEntry(module.path, node.lineno, method.qualname,
+                               f"tests `{name}` after releasing "
+                               f"{_short(token)}"),
+                    TraceEntry(module.path, act.line, act.function,
+                               act.note),
+                ],
+            )
+
+    def _act_on(self, deep: DeepContext, analyzer: AttrFlow,
+                class_qualname: str, method: FunctionDecl,
+                stmt: ast.If | ast.While, attr: str) -> _Act | None:
+        """A write to ``attr`` inside the branch — direct, or through a
+        same-class ``self.<m>()`` call chain."""
+        for child in (*stmt.body, *stmt.orelse):
+            for node in ast.walk(child):
+                mutation = mutated_attr(node)
+                if mutation is not None and mutation[0] == attr:
+                    return _Act(
+                        line=getattr(node, "lineno", stmt.lineno),
+                        function=method.qualname,
+                        note=f"writes self.{attr}")
+        prefix = f"{class_qualname}."
+        for edge in deep.project.calls_from(method.qualname):
+            if edge.external or not edge.callee.startswith(prefix):
+                continue
+            if not _node_within_branch(edge.node, stmt, method):
+                continue
+            if attr in analyzer.writes_transitively(edge.callee,
+                                                    class_qualname):
+                return _Act(
+                    line=edge.line, function=method.qualname,
+                    note=f"calls {edge.callee}() which writes "
+                         f"self.{attr}")
+        return None
+
+
+def _name_reads(expr: ast.AST) -> set[str]:
+    return {
+        node.id for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _within(node: ast.AST, container: ast.AST,
+            module: ModuleContext) -> bool:
+    if node is container:
+        return True
+    return any(ancestor is container
+               for ancestor in ancestors(node, module.parents))
+
+
+def _node_within_branch(node: ast.AST, stmt: ast.If | ast.While,
+                        method: FunctionDecl) -> bool:
+    """The node sits in the statement's body/orelse (not its test)."""
+    module = method.module
+    if not _within(node, stmt, module):
+        return False
+    return not _within(node, stmt.test, module)
+
+
+@register_deep
+class CompoundUpdateRule(_AtomicRuleBase):
+    """ATM002 — read-modify-write outside the inferred guard."""
+
+    rule_id = "ATM002"
+    summary = ("compound updates (`x.n += 1`, `d[k] = d.get(k, ...)`)"
+               " on an attribute whose other writes hold a lock must "
+               "hold that lock too — interleaving loses updates")
+    default_severity = Severity.ERROR
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for _qualname, flow, analyzer in self._class_flows(deep, config):
+            module = flow.decl.module
+            for attr in sorted(flow.guards):
+                if attr in flow.declared_shared:
+                    continue  # LCK001 owns annotated attributes
+                token = flow.guards[attr]
+                witness = next(
+                    (site for site in flow.writes.get(attr, [])
+                     if token in site.held), None)
+                for site in flow.writes.get(attr, []):
+                    if not site.is_rmw:
+                        continue
+                    if token in analyzer.held_at(site.function, site.node):
+                        continue
+                    if _waived(module, site.line):
+                        continue
+                    trace = []
+                    if witness is not None:
+                        trace.append(TraceEntry(
+                            module.path, witness.line, witness.function,
+                            f"writes self.{attr} under {_short(token)} "
+                            f"(establishes the guard)"))
+                    trace.append(TraceEntry(
+                        module.path, site.line, site.function,
+                        f"read-modify-write on self.{attr} without "
+                        f"{_short(token)}"))
+                    yield self.finding(
+                        module.path, site.line, site.column,
+                        f"read-modify-write on self.{attr} without "
+                        f"{_short(token)}, which its other writes hold; "
+                        f"two threads interleaving here lose an update "
+                        f"— wrap it in `with {_short(token)}:` or waive "
+                        f"with `# staticcheck: atomic(<witness>)`",
+                        trace=trace,
+                    )
+
+
+@register_deep
+class UnsafePublicationRule(ProjectRule):
+    """PUB001 — ``self`` escapes ``__init__`` before construction ends."""
+
+    rule_id = "PUB001"
+    summary = ("`self` must not escape __init__ (thread start, "
+               "callback registry, module global) before every "
+               "attribute __init__ assigns exists")
+    default_severity = Severity.ERROR
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for qualname in sorted(deep.project.classes):
+            decl = deep.project.classes[qualname]
+            init_fq = decl.methods.get("__init__")
+            if init_fq is None:
+                continue
+            init = deep.project.functions[init_fq]
+            yield from self._check_init(decl, init)
+
+    def _check_init(self, decl: ClassDecl,
+                    init: FunctionDecl) -> Iterable[Finding]:
+        module = decl.module
+        first_assigned: dict[str, int] = {}
+        for node in ast.walk(init.node):
+            mutation = mutated_attr(node)
+            if mutation is not None:
+                line = getattr(node, "lineno", init.node.lineno)
+                attr, _ = mutation
+                if attr not in first_assigned or line < first_assigned[attr]:
+                    first_assigned[attr] = line
+        for line, column, note in self._escapes(module, init):
+            missing = sorted(
+                attr for attr, assigned in first_assigned.items()
+                if assigned > line
+            )
+            if not missing or _waived(module, line):
+                continue
+            attrs = ", ".join(f"self.{attr}" for attr in missing[:4])
+            if len(missing) > 4:
+                attrs += ", ..."
+            yield self.finding(
+                module.path, line, column,
+                f"unsafe publication: {note} before {attrs} "
+                f"{'is' if len(missing) == 1 else 'are'} assigned — "
+                f"another thread can observe the half-constructed "
+                f"{decl.name}; finish initializing every attribute "
+                f"first, or waive with "
+                f"`# staticcheck: atomic(<witness>)`",
+                trace=[
+                    TraceEntry(module.path, line, init.qualname, note),
+                    TraceEntry(
+                        module.path,
+                        min(first_assigned[attr] for attr in missing),
+                        init.qualname,
+                        f"{attrs} assigned only later in __init__"),
+                ],
+            )
+
+    def _escapes(self, module: ModuleContext, init: FunctionDecl,
+                 ) -> Iterable[tuple[int, int, str]]:
+        """(line, column, note) for each point where ``self`` leaves
+        ``__init__``: a self-bound thread starting, ``self`` passed to
+        a foreign call, or ``self`` stored in a module global."""
+        thread_bindings = _self_thread_bindings(module, init)
+        composed = _composition_calls(init)
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "start":
+                bound = _binding_name(func.value)
+                if bound is not None and bound in thread_bindings:
+                    yield (node.lineno, node.col_offset,
+                           f"starts thread {bound} targeting a bound "
+                           f"method of self")
+                    continue
+                if _is_self_thread_ctor(module, func.value):
+                    yield (node.lineno, node.col_offset,
+                           "starts a thread targeting a bound method "
+                           "of self")
+                    continue
+            if node in composed:
+                continue  # self.x = Helper(self): owned composition
+            if not _passes_self(node):
+                continue
+            segments = dotted_segments(func)
+            if segments is not None and segments[0] == "self":
+                continue  # self.helper(self) stays within the object
+            target = ".".join(segments) if segments else "a callee"
+            yield (node.lineno, node.col_offset,
+                   f"passes self to {target}()")
+        yield from _global_stores(init)
+
+
+def _passes_self(call: ast.Call) -> bool:
+    candidates = [*call.args,
+                  *(kw.value for kw in call.keywords)]
+    return any(isinstance(arg, ast.Name) and arg.id == "self"
+               for arg in candidates)
+
+
+def _binds_self(call: ast.Call) -> bool:
+    """Any argument is ``self`` or a ``self.<attr>`` bound method."""
+    candidates = [*call.args, *(kw.value for kw in call.keywords)]
+    for arg in candidates:
+        if isinstance(arg, ast.Name) and arg.id == "self":
+            return True
+        if (isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "self"):
+            return True
+    return False
+
+
+def _is_self_thread_ctor(module: ModuleContext, expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    segments = dotted_segments(expr.func)
+    if segments is None:
+        return False
+    resolved = _external_dotted(module, segments)
+    return resolved == "threading.Thread" and _binds_self(expr)
+
+
+def _self_thread_bindings(module: ModuleContext,
+                          init: FunctionDecl) -> set[str]:
+    """Names (``worker`` or ``self._thread``) assigned a Thread whose
+    target binds ``self`` inside ``__init__``."""
+    bindings: set[str] = set()
+    for node in ast.walk(init.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        if not _is_self_thread_ctor(module, node.value):
+            continue
+        bound = _binding_name(node.targets[0])
+        if bound is not None:
+            bindings.add(bound)
+    return bindings
+
+
+def _binding_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return f"self.{expr.attr}"
+    return None
+
+
+def _composition_calls(init: FunctionDecl) -> set[ast.Call]:
+    """Calls whose result is assigned straight to ``self.<attr>`` —
+    ``self.sensors = MonitorSensors(self)`` composes an owned helper,
+    it does not publish ``self`` to another thread."""
+    composed: set[ast.Call] = set()
+    for node in ast.walk(init.node):
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "self"):
+            composed.add(node.value)
+    return composed
+
+
+def _global_stores(init: FunctionDecl) -> Iterable[tuple[int, int, str]]:
+    """``REGISTRY[key] = self`` / ``global X; X = self`` stores."""
+    declared_global: set[str] = set()
+    for node in ast.walk(init.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in ast.walk(init.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(value, ast.Name) and value.id == "self"
+                   for value in ast.walk(node.value)):
+            continue
+        for target in node.targets:
+            root = target
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if not isinstance(root, ast.Name) or root.id == "self":
+                continue
+            is_container_store = isinstance(target,
+                                            (ast.Subscript, ast.Attribute))
+            if root.id in declared_global or is_container_store:
+                yield (node.lineno, node.col_offset,
+                       f"stores self through `{root.id}`")

@@ -19,17 +19,19 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
-from repro.staticcheck.astutil import ancestors, self_attribute
+from repro.staticcheck.astutil import (
+    MUTATOR_METHODS,
+    ancestors,
+    mutated_attr,
+    self_attribute,
+)
 from repro.staticcheck.base import Rule, register
 from repro.staticcheck.config import StaticcheckConfig
 from repro.staticcheck.driver import ModuleContext
 from repro.staticcheck.findings import Finding, Severity
 
-MUTATOR_METHODS = frozenset({
-    "append", "appendleft", "extend", "insert", "add", "discard",
-    "remove", "pop", "popleft", "popitem", "clear", "update",
-    "setdefault", "move_to_end", "sort", "reverse",
-})
+__all__ = ["MUTATOR_METHODS", "UnguardedSharedMutationRule",
+           "UnknownLockRule"]
 
 
 def _class_methods(class_node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
@@ -75,59 +77,6 @@ def _statement_lines(statement: ast.stmt) -> range:
     """All source lines a (possibly multi-line) statement spans."""
     end = getattr(statement, "end_lineno", None) or statement.lineno
     return range(statement.lineno, end + 1)
-
-
-def _mutated_attr(node: ast.AST) -> tuple[str, ast.AST] | None:
-    """If ``node`` mutates ``self.<attr>``, return (attr, location)."""
-    if isinstance(node, ast.Assign):
-        for target in node.targets:
-            for leaf in _expand_targets(target):
-                attr = _target_attr(leaf)
-                if attr is not None:
-                    return attr, node
-    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-        attr = _target_attr(node.target)
-        if attr is not None and not (
-                isinstance(node, ast.AnnAssign) and node.value is None):
-            return attr, node
-    elif isinstance(node, ast.Delete):
-        for target in node.targets:
-            attr = _target_attr(target)
-            if attr is not None:
-                return attr, node
-    elif isinstance(node, ast.Call):
-        func = node.func
-        if (isinstance(func, ast.Attribute)
-                and func.attr in MUTATOR_METHODS):
-            attr = self_attribute(func.value)
-            if attr is not None:
-                return attr, node
-    return None
-
-
-def _expand_targets(target: ast.expr) -> Iterator[ast.expr]:
-    """Flatten tuple/list unpacking targets into leaf targets."""
-    if isinstance(target, (ast.Tuple, ast.List)):
-        for element in target.elts:
-            yield from _expand_targets(element)
-    elif isinstance(target, ast.Starred):
-        yield from _expand_targets(target.value)
-    else:
-        yield target
-
-
-def _target_attr(target: ast.expr) -> str | None:
-    """``self.attr``, ``self.attr[i]`` or ``self.attr.field`` as the
-    mutated attribute ``attr``; None for non-self targets."""
-    while isinstance(target, ast.Subscript):
-        target = target.value
-    attr = self_attribute(target)
-    if attr is not None:
-        return attr
-    if isinstance(target, ast.Attribute):
-        # self.attr.field = x mutates the object held in self.attr
-        return self_attribute(target.value)
-    return None
 
 
 def _guarding_locks(node: ast.AST, module: ModuleContext) -> set[str]:
@@ -179,7 +128,7 @@ class UnguardedSharedMutationRule(Rule):
             m for m in _class_methods(class_node) if m.name == "__init__"
         }
         for node in ast.walk(class_node):
-            mutation = _mutated_attr(node)
+            mutation = mutated_attr(node)
             if mutation is None:
                 continue
             attr, location = mutation

@@ -1,0 +1,28 @@
+"""Twin of atomicity_violation: test and act share one acquisition."""
+
+import threading
+
+
+class Spooler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._spilled = 0
+
+    def add(self, n):
+        with self._lock:
+            self._pending += n
+
+    def maybe_spill(self):
+        with self._lock:
+            if self._pending > 10:
+                self._drain_locked()
+
+    def peek(self):
+        # A lockless *read* with no act is an advisory probe, not a
+        # check-then-act.
+        return self._pending > 10
+
+    def _drain_locked(self):
+        self._spilled += self._pending
+        self._pending = 0

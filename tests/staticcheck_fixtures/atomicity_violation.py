@@ -1,0 +1,29 @@
+"""Guarded counter tested without its lock, then acted on."""
+
+import threading
+
+
+class Spooler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._spilled = 0
+
+    def add(self, n):
+        with self._lock:
+            self._pending += n
+
+    def maybe_spill(self):
+        if self._pending > 10:
+            self._drain()
+
+    def snapshot_spill(self):
+        with self._lock:
+            due = self._pending > 10
+        if due:
+            self._drain()
+
+    def _drain(self):
+        with self._lock:
+            self._spilled += self._pending
+            self._pending = 0

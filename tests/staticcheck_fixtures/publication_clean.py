@@ -1,0 +1,28 @@
+"""Twin of publication_violation: fully built before any escape."""
+
+import threading
+
+
+class Helper:
+    def __init__(self, owner):
+        self.owner = owner
+
+
+class Publisher:
+    def __init__(self, registry):
+        self._lock = threading.Lock()
+        self.results = []
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+        registry.subscribe(self)
+
+    def _run(self):
+        pass
+
+
+class Composed:
+    def __init__(self):
+        # Handing self to an owned component is composition, not
+        # publication: no other thread can see it yet.
+        self.helper = Helper(self)
+        self.late = 0

@@ -1,0 +1,15 @@
+"""``self`` escapes __init__ before construction finishes."""
+
+import threading
+
+
+class Publisher:
+    def __init__(self, registry):
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+        registry.subscribe(self)
+        self.results = []
+
+    def _run(self):
+        pass

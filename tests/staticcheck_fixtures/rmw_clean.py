@@ -1,0 +1,30 @@
+"""Twin of rmw_violation: every compound update holds the lock, or
+declares why it does not need to."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._by_key = {}
+        self._epoch = 0
+
+    def record(self, n, key):
+        with self._lock:
+            self._total += n
+            self._by_key[key] = self._by_key.get(key, 0) + 1
+
+    def bump(self):
+        with self._lock:
+            self._total += 1
+
+    def roll_epoch(self):
+        with self._lock:
+            self._epoch += 1
+
+    def roll_epoch_unlocked(self):
+        # Only the single janitor thread calls this; the lock above is
+        # for readers of the paired counters.
+        self._epoch += 1  # staticcheck: atomic(janitor-thread-only)

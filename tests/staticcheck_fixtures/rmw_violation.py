@@ -1,0 +1,21 @@
+"""Compound updates on guarded attributes outside their lock."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._by_key = {}
+
+    def record(self, n, key):
+        with self._lock:
+            self._total += n
+            self._by_key[key] = self._by_key.get(key, 0) + 1
+
+    def fast_bump(self):
+        self._total += 1
+
+    def fast_touch(self, key):
+        self._by_key[key] = self._by_key.get(key, 0) + 1

@@ -1,0 +1,289 @@
+"""Tests for the ATM/PUB dataflow rule families.
+
+Covers the three new deep rules against their clean/violation fixture
+pairs (pinning exact rule IDs and lines, like every other rule test),
+the ``atomic(<witness>)`` waiver semantics, the guard-inference and
+entry-locks machinery underneath, and the CLI integration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Finding,
+    StaticcheckConfig,
+    analyze_project,
+    build_project,
+)
+from repro.staticcheck.cli import main as lint_main
+from repro.staticcheck.dataflow import AttrFlow
+from repro.staticcheck.driver import ModuleContext
+from repro.staticcheck.lockflow import DeepContext, LockFlow
+
+FIXTURES = Path(__file__).parent / "staticcheck_fixtures"
+
+CONFIG = StaticcheckConfig(
+    growth_scope_paths=("*growth_violation.py", "*growth_clean.py"),
+    sensor_module_paths=("*sensorbudget_violation.py",
+                         "*sensorbudget_clean.py"),
+)
+
+
+def deep_findings_for(name: str) -> list[Finding]:
+    return analyze_project([FIXTURES / name], CONFIG)
+
+
+def ids_and_lines(findings: list[Finding]) -> list[tuple[str, int]]:
+    return [(f.rule_id, f.line) for f in findings]
+
+
+class TestCheckThenActRule:
+    def test_violation(self):
+        findings = deep_findings_for("atomicity_violation.py")
+        assert ids_and_lines(findings) == [
+            ("ATM001", 17),
+            ("ATM001", 23),
+        ]
+        unlocked_test, stale_snapshot = findings
+        assert "tested without self._lock" in unlocked_test.message
+        assert "_drain" in unlocked_test.message
+        # Trace: the raw test, then the act through the helper.
+        assert [e.line for e in unlocked_test.trace] == [17, 18]
+        assert "snapshots self._pending" in stale_snapshot.message
+        assert "`due`" in stale_snapshot.message
+        # Trace: snapshot under the lock, test after release, act.
+        assert [e.line for e in stale_snapshot.trace] == [22, 23, 24]
+
+    def test_clean_twin(self):
+        assert deep_findings_for("atomicity_clean.py") == []
+
+    def test_atomic_waiver_silences_with_witness(self, tmp_path):
+        source = (FIXTURES / "atomicity_violation.py").read_text()
+        source = source.replace(
+            "        if self._pending > 10:",
+            "        # staticcheck: atomic(single-spiller-thread)\n"
+            "        if self._pending > 10:")
+        target = tmp_path / "atomicity_violation.py"
+        target.write_text(source)
+        findings = analyze_project([target], CONFIG)
+        # The waived P1 finding is gone; the snapshot one remains.
+        assert [f.rule_id for f in findings] == ["ATM001"]
+        assert "`due`" in findings[0].message
+
+    def test_bare_atomic_waiver_does_not_waive(self, tmp_path):
+        source = (FIXTURES / "atomicity_violation.py").read_text()
+        source = source.replace(
+            "        if self._pending > 10:",
+            "        if self._pending > 10:  # staticcheck: atomic")
+        target = tmp_path / "atomicity_violation.py"
+        target.write_text(source)
+        findings = analyze_project([target], CONFIG)
+        assert [(f.rule_id, f.line) for f in findings] == [
+            ("ATM001", 17), ("ATM001", 23)]
+
+
+class TestCompoundUpdateRule:
+    def test_violation(self):
+        findings = deep_findings_for("rmw_violation.py")
+        assert ids_and_lines(findings) == [
+            ("ATM002", 18),
+            ("ATM002", 21),
+        ]
+        counter, dict_update = findings
+        assert "self._total" in counter.message
+        assert "self._lock" in counter.message
+        # Trace pairs the guard-establishing write with the racy one.
+        assert [e.line for e in counter.trace] == [14, 18]
+        assert "establishes the guard" in counter.trace[0].note
+        assert "self._by_key" in dict_update.message
+
+    def test_clean_twin_including_witnessed_waiver(self):
+        # The clean twin contains an unlocked `self._epoch += 1` that
+        # only stays silent because of its atomic(...) witness.
+        assert deep_findings_for("rmw_clean.py") == []
+
+    def test_shared_annotated_attrs_left_to_lck001(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0  # staticcheck: shared(_lock)\n"
+            "    def locked(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n"
+            "    def racy(self):\n"
+            "        self.n += 1\n"
+        )
+        deep = _deep_for(source)
+        flow = AttrFlow(deep, StaticcheckConfig())
+        flow.analyze()
+        cls = flow.flows.classes["repro.demo.C"]
+        assert "n" in cls.declared_shared
+        findings = [f for f in _analyze(source) if f.rule_id == "ATM002"]
+        assert findings == []
+
+
+class TestUnsafePublicationRule:
+    def test_violation(self):
+        findings = deep_findings_for("publication_violation.py")
+        assert ids_and_lines(findings) == [
+            ("PUB001", 10),
+            ("PUB001", 11),
+        ]
+        thread_escape, registry_escape = findings
+        assert "starts thread self._worker" in thread_escape.message
+        assert "self.results" in thread_escape.message
+        assert [e.line for e in thread_escape.trace] == [10, 12]
+        assert "passes self to registry.subscribe()" in \
+            registry_escape.message
+
+    def test_clean_twin(self):
+        # Includes the composition case: self.helper = Helper(self)
+        # followed by a later attribute assignment stays silent.
+        assert deep_findings_for("publication_clean.py") == []
+
+
+def _deep_for(source: str) -> DeepContext:
+    module = ModuleContext.from_source("src/repro/demo.py", source)
+    project = build_project([module])
+    lockflow = LockFlow(project, StaticcheckConfig()).analyze()
+    return DeepContext(project=project, lockflow=lockflow)
+
+
+def _analyze(source: str) -> list[Finding]:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "demo.py"
+        target.write_text(source)
+        return analyze_project([target], StaticcheckConfig())
+
+
+class TestDataflowMachinery:
+    def test_guard_inferred_from_locked_writes_only(self):
+        deep = _deep_for(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def locked(self):\n"
+            "        with self._lock:\n"
+            "            self.n = 1\n"
+            "    def racy(self):\n"
+            "        self.n = 2\n"
+        )
+        flow = AttrFlow(deep, StaticcheckConfig())
+        flow.analyze()
+        cls = flow.flows.classes["repro.demo.C"]
+        # The unlocked write does not disable inference.
+        assert cls.guards == {"n": "repro.demo.C._lock"}
+
+    def test_no_locked_write_means_no_guard(self):
+        deep = _deep_for(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def a(self):\n"
+            "        self.n = 1\n"
+            "    def b(self):\n"
+            "        self.n = 2\n"
+        )
+        flow = AttrFlow(deep, StaticcheckConfig())
+        flow.analyze()
+        assert flow.flows.classes["repro.demo.C"].guards == {}
+
+    def test_entry_locks_cover_helpers_called_under_lock(self):
+        deep = _deep_for(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self._helper()\n"
+            "    def _helper(self):\n"
+            "        self.n += 1\n"
+        )
+        entry = deep.lockflow.entry_locks
+        assert entry["repro.demo.C._helper"] == \
+            frozenset({"repro.demo.C._lock"})
+        # And therefore the helper's compound update is not flagged.
+        flow = AttrFlow(deep, StaticcheckConfig())
+        flow.analyze()
+        site = flow.flows.classes["repro.demo.C"].writes["n"][0]
+        assert site.function == "repro.demo.C._helper"
+        assert "repro.demo.C._lock" in flow.held_at(site.function,
+                                                    site.node)
+
+    def test_entry_locks_meet_over_disagreeing_callers(self):
+        deep = _deep_for(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def locked_caller(self):\n"
+            "        with self._lock:\n"
+            "            self._helper()\n"
+            "    def unlocked_caller(self):\n"
+            "        self._helper()\n"
+            "    def _helper(self):\n"
+            "        pass\n"
+        )
+        assert deep.lockflow.entry_locks["repro.demo.C._helper"] == \
+            frozenset()
+
+    def test_transitive_write_closure(self):
+        deep = _deep_for(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.a = 0\n"
+            "        self.b = 0\n"
+            "    def top(self):\n"
+            "        self._mid()\n"
+            "    def _mid(self):\n"
+            "        self.a = 1\n"
+            "        self._leaf()\n"
+            "    def _leaf(self):\n"
+            "        self.b = 2\n"
+        )
+        flow = AttrFlow(deep, StaticcheckConfig())
+        flow.analyze()
+        assert flow.writes_transitively("repro.demo.C.top",
+                                        "repro.demo.C") == {"a", "b"}
+
+
+class TestAtomicCli:
+    @pytest.mark.parametrize("fixture,rule_id,line", [
+        ("atomicity_violation.py", "ATM001", 17),
+        ("rmw_violation.py", "ATM002", 18),
+        ("publication_violation.py", "PUB001", 10),
+    ])
+    def test_each_family_fails_the_cli_with_a_trace(self, capsys, fixture,
+                                                    rule_id, line):
+        code = lint_main([str(FIXTURES / fixture),
+                          "--deep", "--format", "json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 3
+        matches = [f for f in report["findings"]
+                   if f["rule_id"] == rule_id and f["line"] == line]
+        assert matches, report["findings"]
+        assert all(f["rule_id"] == rule_id for f in report["findings"])
+        assert len(matches[0]["trace"]) >= 2
+
+    def test_list_rules_includes_new_families(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for rule_id in ("ATM001", "ATM002", "PUB001"):
+            assert rule_id in output

@@ -1,0 +1,352 @@
+"""Tests for the incremental analysis cache and per-rule budgets.
+
+Covers warm-run behaviour (zero files re-analyzed, deep findings
+replayed from cache), the three invalidation axes (file content,
+rule-set version, configuration), the dependency-aware staleness
+explanation used by ``--changed``, budget enforcement (BGT001), and
+the v3 JSON report carrying the timing table and cache summary.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    StaticcheckConfig,
+    analyze_paths,
+    analyze_project,
+    parse_json,
+    render_json,
+)
+from repro.staticcheck.cache import (
+    AnalysisCache,
+    config_fingerprint,
+    content_hash,
+    git_changed_files,
+    reverse_dependents,
+    ruleset_fingerprint,
+)
+from repro.staticcheck.cli import main as lint_main
+from repro.staticcheck.driver import AnalysisStats, budget_findings
+from repro.staticcheck.findings import Finding, Severity
+
+CLOCK_VIOLATION = (
+    "import time\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+RACY_COUNTER = (
+    "import threading\n"
+    "class Tally:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._total = 0\n"
+    "    def record(self, n):\n"
+    "        with self._lock:\n"
+    "            self._total += n\n"
+    "    def fast_bump(self):\n"
+    "        self._total += 1\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "clocky.py").write_text(CLOCK_VIOLATION)
+    (src / "tally.py").write_text(RACY_COUNTER)
+    return src
+
+
+def _open_cache(tmp_path, config=None):
+    return AnalysisCache.open(tmp_path / "cachedir",
+                              config or StaticcheckConfig())
+
+
+class TestShallowCache:
+    def test_warm_run_reanalyzes_zero_files(self, tmp_path, tree):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        cold = analyze_paths([tree], config, cache=cache)
+        assert cache.stats.shallow_analyzed == 2
+        assert cache.stats.shallow_hits == 0
+        assert cache.save()
+
+        warm_cache = _open_cache(tmp_path, config)
+        warm = analyze_paths([tree], config, cache=warm_cache)
+        assert warm == cold
+        assert warm_cache.stats.shallow_analyzed == 0
+        assert warm_cache.stats.shallow_hits == 2
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path,
+                                                       tree):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_paths([tree], config, cache=cache)
+        cache.save()
+
+        (tree / "clocky.py").write_text(
+            CLOCK_VIOLATION + "\n# touched\n")
+        warm = _open_cache(tmp_path, config)
+        analyze_paths([tree], config, cache=warm)
+        assert warm.stats.shallow_analyzed == 1
+        assert warm.stats.shallow_hits == 1
+
+    def test_ruleset_bump_discards_cache(self, tmp_path, tree,
+                                         monkeypatch):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_paths([tree], config, cache=cache)
+        cache.save()
+
+        import repro.staticcheck.cache as cache_module
+        monkeypatch.setattr(cache_module, "RULESET_VERSION", 9999)
+        assert ruleset_fingerprint() != cache.ruleset
+        stale = _open_cache(tmp_path, config)
+        assert stale.shallow == {}
+        analyze_paths([tree], config, cache=stale)
+        assert stale.stats.shallow_analyzed == 2
+
+    def test_config_change_discards_cache(self, tmp_path, tree):
+        cache = _open_cache(tmp_path, StaticcheckConfig())
+        analyze_paths([tree], StaticcheckConfig(), cache=cache)
+        cache.save()
+
+        changed = StaticcheckConfig(rule_budget_default_s=1.0)
+        assert config_fingerprint(changed) != cache.config_key
+        stale = _open_cache(tmp_path, changed)
+        assert stale.shallow == {}
+
+    def test_explicit_rule_subset_bypasses_cache(self, tmp_path, tree):
+        from repro.staticcheck.rules_clock import WallClockCallRule
+
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_paths([tree], config,
+                      rules=[WallClockCallRule()], cache=cache)
+        assert cache.stats.shallow_analyzed == 0
+        assert cache.shallow == {}
+
+
+class TestDeepCache:
+    def test_warm_deep_run_comes_from_cache(self, tmp_path, tree):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        cold = analyze_project([tree], config, cache=cache)
+        assert any(f.rule_id == "ATM002" for f in cold)
+        assert not cache.stats.deep_from_cache
+        cache.save()
+
+        warm_cache = _open_cache(tmp_path, config)
+        warm = analyze_project([tree], config, cache=warm_cache)
+        assert warm == cold
+        assert warm_cache.stats.deep_from_cache
+
+    def test_any_content_change_recomputes_deep(self, tmp_path, tree):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_project([tree], config, cache=cache)
+        cache.save()
+
+        (tree / "clocky.py").write_text(CLOCK_VIOLATION + "\n#\n")
+        warm = _open_cache(tmp_path, config)
+        analyze_project([tree], config, cache=warm)
+        assert not warm.stats.deep_from_cache
+
+    def test_explain_distinguishes_content_from_dependents(self, tmp_path):
+        src = tmp_path / "src" / "proj"
+        src.mkdir(parents=True)
+        callee = (
+            "class Disk:\n"
+            "    def read(self):\n"
+            "        pass\n"
+        )
+        caller = (
+            "from proj.disk import Disk\n"
+            "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self.disk = Disk()\n"
+            "    def get(self):\n"
+            "        self.disk.read()\n"
+        )
+        (src / "disk.py").write_text(callee)
+        (src / "pool.py").write_text(caller)
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_project([src], config, cache=cache)
+
+        # Change only the callee: the caller is stale via dependency.
+        new_callee = callee + "\n# grown\n"
+        (src / "disk.py").write_text(new_callee)
+        hashes = {
+            str(src / "disk.py"): content_hash(new_callee),
+            str(src / "pool.py"): content_hash(caller),
+        }
+        reasons = cache.explain(hashes)
+        assert reasons[str(src / "disk.py")] == "content-changed"
+        assert reasons[str(src / "pool.py")] == "dependent-changed"
+
+    def test_explain_reports_fresh_files_as_absent(self, tmp_path, tree):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_project([tree], config, cache=cache)
+        hashes = {
+            str(tree / "clocky.py"): content_hash(CLOCK_VIOLATION),
+            str(tree / "tally.py"): content_hash(RACY_COUNTER),
+        }
+        assert cache.explain(hashes) == {}
+
+    def test_corrupt_cache_file_degrades_to_cold(self, tmp_path, tree):
+        config = StaticcheckConfig()
+        cache = _open_cache(tmp_path, config)
+        analyze_paths([tree], config, cache=cache)
+        cache.save()
+        (tmp_path / "cachedir" / "cache.json").write_text("{nope")
+        reopened = _open_cache(tmp_path, config)
+        assert reopened.shallow == {}
+        assert reopened.deep == {}
+
+
+class TestChangedSelection:
+    def test_reverse_dependents_transitive(self):
+        deps = {"a.py": ["b.py"], "b.py": ["c.py"], "d.py": []}
+        assert reverse_dependents(deps, ["c.py"]) == \
+            {"a.py", "b.py", "c.py"}
+        assert reverse_dependents(deps, ["d.py"]) == {"d.py"}
+
+    def test_git_changed_files_in_fresh_repo(self, tmp_path):
+        def git(*args):
+            subprocess.run(["git", *args], cwd=tmp_path, check=True,
+                           capture_output=True)
+
+        git("init", "-q", "-b", "main")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        (tmp_path / "kept.py").write_text("x = 1\n")
+        (tmp_path / "edited.py").write_text("y = 1\n")
+        git("add", ".")
+        git("commit", "-q", "-m", "base")
+        (tmp_path / "edited.py").write_text("y = 2\n")
+        (tmp_path / "fresh.py").write_text("z = 1\n")
+        changed = git_changed_files(tmp_path)
+        assert changed == {"edited.py", "fresh.py"}
+
+    def test_git_changed_files_outside_repo_is_none(self, tmp_path):
+        assert git_changed_files(tmp_path / "nowhere") is None
+
+    def test_cli_changed_narrows_to_pure_function_selection(
+            self, tmp_path, capsys, monkeypatch):
+        src = tmp_path / "proj"
+        src.mkdir()
+        (src / "clocky.py").write_text(CLOCK_VIOLATION)
+        (src / "clean.py").write_text("x = 1\n")
+        import repro.staticcheck.cli as cli_module
+        # Only clean.py "changed": the shallow phase must not report
+        # clocky.py's CLK001.
+        monkeypatch.setattr(cli_module, "git_changed_files",
+                            lambda: {str(src / "clean.py")})
+        code = lint_main([str(src), "--changed", "--format", "json"])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert out["findings"] == []
+        # And with clocky.py changed the finding is back.
+        monkeypatch.setattr(cli_module, "git_changed_files",
+                            lambda: {str(src / "clocky.py")})
+        code = lint_main([str(src), "--changed", "--format", "json"])
+        out = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert [f["rule_id"] for f in out["findings"]] == ["CLK001"]
+
+
+class TestBudgets:
+    def test_budget_config_parsing(self):
+        config = StaticcheckConfig(
+            rule_budget_default_s=2.0,
+            rule_budget_overrides=("LCK003=10", "GRW001=0.5"))
+        assert config.rule_budget_s("LCK003") == 10.0
+        assert config.rule_budget_s("GRW001") == 0.5
+        assert config.rule_budget_s("CLK001") == 2.0
+
+    def test_over_budget_rule_fails_with_bgt001(self):
+        stats = AnalysisStats()
+        stats.add_timing("LCK003", 0.25)
+        stats.add_timing("CLK001", 0.01)
+        config = StaticcheckConfig(
+            rule_budget_overrides=("LCK003=0",))
+        findings = budget_findings(stats, config)
+        assert [f.rule_id for f in findings] == ["BGT001"]
+        assert "LCK003" in findings[0].message
+        assert findings[0].severity is Severity.ERROR
+        rows = {row["rule_id"]: row for row in stats.timing_rows()}
+        assert rows["LCK003"]["over_budget"] is True
+        assert rows["CLK001"]["over_budget"] is False
+
+    def test_within_budget_is_silent(self):
+        stats = AnalysisStats()
+        stats.add_timing("CLK001", 0.01)
+        assert budget_findings(stats, StaticcheckConfig()) == []
+
+    def test_cli_budget_exceeded_fails(self, tmp_path, capsys):
+        # A pyproject with a zero default budget makes any measurable
+        # rule time an overrun.
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.staticcheck]\n"
+            "rule_budget_default_s = 0\n")
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        code = lint_main([str(target), "--budget", "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert any(f["rule_id"] == "BGT001"
+                   for f in report["findings"])
+        assert all(row["over_budget"] or row["seconds"] == 0
+                   for row in report["timings"])
+
+
+class TestJsonV3:
+    def test_report_carries_timings_and_cache(self, tmp_path, tree,
+                                              capsys):
+        cache_dir = tmp_path / "cachedir"
+        args = [str(tree), "--deep", "--cache",
+                "--cache-dir", str(cache_dir), "--budget",
+                "--format", "json"]
+        lint_main(args)
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["version"] == 3
+        assert cold["cache"]["shallow_analyzed"] == 2
+        assert cold["cache"]["deep_from_cache"] is False
+        timed = {row["rule_id"] for row in cold["timings"]}
+        assert "ATM002" in timed
+        for row in cold["timings"]:
+            assert row["budget_s"] == 5.0
+
+        lint_main(args)
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache"] == {
+            "shallow_hits": 2,
+            "shallow_analyzed": 0,
+            "deep_from_cache": True,
+        }
+        assert warm["findings"] == cold["findings"]
+
+    def test_parse_accepts_versions_1_2_3_only(self):
+        finding = Finding(path="a.py", line=1, column=0,
+                          rule_id="CLK001", severity=Severity.ERROR,
+                          message="m")
+        text = render_json([finding],
+                           timings=[{"rule_id": "CLK001",
+                                     "seconds": 0.1}],
+                           cache={"shallow_hits": 0,
+                                  "shallow_analyzed": 1,
+                                  "deep_from_cache": False})
+        assert parse_json(text) == [finding]
+        for version in (1, 2):
+            payload = json.dumps({"version": version, "findings": []})
+            assert parse_json(payload) == []
+        with pytest.raises(ValueError):
+            parse_json(json.dumps({"version": 4, "findings": []}))

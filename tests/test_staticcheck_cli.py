@@ -30,7 +30,7 @@ def test_lint_json_format_is_machine_readable(capsys):
                       "--format", "json"])
     assert code == 1
     report = json.loads(capsys.readouterr().out)
-    assert report["version"] == 2
+    assert report["version"] == 3
     rule_ids = [finding["rule_id"] for finding in report["findings"]]
     assert "CLK001" in rule_ids and "CLK002" in rule_ids
 
@@ -47,6 +47,7 @@ def test_list_rules_names_all_families(capsys):
     output = capsys.readouterr().out
     for rule_id in ("LCK001", "LCK002", "CLK001", "CLK002",
                     "EXC001", "EXC002", "SNS001",
-                    "LCK003", "LCK004", "GRW001", "SNS002"):
+                    "LCK003", "LCK004", "GRW001", "SNS002",
+                    "ATM001", "ATM002", "PUB001"):
         assert rule_id in output
     assert "[deep]" in output
