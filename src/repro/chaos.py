@@ -1,0 +1,271 @@
+"""Chaos-soak harness: seeded crash/recovery torture for the tuning loop.
+
+The storage daemon's recovery tests prove single scenarios; this module
+proves the *composition*: a workload keeps running while faults are
+injected at randomized seams (``ddl.apply``, ``journal.write``,
+``analyzer.scan``, ``session.execute``, ``workload_db.append``) and the
+autonomous tuner is repeatedly "killed" — abandoned mid-state and
+rebuilt from what the workload database persisted, exactly like a
+process restart.  After every round the harness re-checks the
+system-wide invariants:
+
+* **no half-applied cycle** — after recovery no journal entry is left
+  in ``intent`` state, and recovery replay is idempotent (a second
+  pass resolves nothing);
+* **journal/schema agreement** — an index exists if and only if some
+  journal entry for it is ``applied``;
+* **exactly-once changes** — no statement has more than one ``applied``
+  journal entry, and no workload table persisted a duplicate source
+  sequence number;
+* **always recoverable** — a freshly constructed tuner over the same
+  workload DB can always run recovery to a clean state.
+
+Everything is deterministic per seed: one :class:`random.Random` drives
+the workload mix, the fault schedule and the crash points, and time is
+a :class:`~repro.clock.VirtualClock`.  CI runs several seeds
+(``repro chaos --seed N``); a failure reproduces locally from the seed
+alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from dataclasses import dataclass, field
+
+from repro import faultsim
+from repro.clock import VirtualClock
+from repro.core.autopilot import AutonomousTuner, TuningPolicy
+from repro.core.tuning_journal import JournalState, TuningJournal
+from repro.core.workload_db import TABLE_SOURCES
+from repro.errors import ReproError
+from repro.setups import Setup, daemon_setup
+from repro.workloads import NrefScale, complex_query_set, load_nref
+
+
+class ChaosInvariantError(ReproError):
+    """A soak invariant did not hold — a real bug, never flake."""
+
+
+CHAOS_FAULT_POINTS = (
+    "ddl.apply", "journal.write", "analyzer.scan",
+    "session.execute", "workload_db.append",
+)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak run; everything derives from ``seed``."""
+
+    seed: int = 1
+    rounds: int = 12
+    proteins: int = 300
+    queries_per_round: int = 5
+    fault_probability: float = 0.6
+    """Chance a round arms a random fault before the tuning cycle."""
+    crash_probability: float = 0.5
+    """Chance a round kills the tuner after its cycle (the abandoned
+    object's memory dies; the next round rebuilds from the journal)."""
+    quarantine_cooldown_s: float = 240.0
+    round_interval_s: float = 120.0
+    """Virtual seconds between rounds (lets cooldowns expire mid-soak)."""
+
+
+@dataclass
+class SoakReport:
+    """What one seeded soak run did and survived."""
+
+    seed: int
+    rounds: int = 0
+    cycles_failed: int = 0
+    faults_armed: list[str] = field(default_factory=list)
+    crashes: int = 0
+    recoveries: int = 0
+    """Interrupted journal entries resolved across all rounds."""
+    applied: int = 0
+    quarantined: int = 0
+    invariant_sweeps: int = 0
+
+    def describe(self) -> str:
+        return (f"chaos soak (seed {self.seed}): {self.rounds} rounds, "
+                f"{self.cycles_failed} failed cycles, "
+                f"{len(self.faults_armed)} faults armed, "
+                f"{self.crashes} crashes, "
+                f"{self.recoveries} interrupted changes recovered, "
+                f"{self.applied} changes applied, "
+                f"{self.quarantined} quarantine decisions, "
+                f"{self.invariant_sweeps} invariant sweeps — all held")
+
+
+def _require(condition: bool, message: str, seed: int) -> None:
+    if not condition:
+        raise ChaosInvariantError(f"[seed {seed}] {message}")
+
+
+def check_invariants(setup: Setup, journal: TuningJournal,
+                     seed: int) -> None:
+    """Assert every soak invariant; raises :class:`ChaosInvariantError`.
+
+    Callers must run with all faults disarmed and recovery already
+    replayed — these are the *steady-state* guarantees.
+    """
+    workload_db = setup.workload_db
+    assert workload_db is not None
+    database = setup.engine.database("nref")
+
+    _require(not journal.interrupted(),
+             "journal still holds interrupted entries after recovery",
+             seed)
+
+    applied_by_sql: dict[str, int] = {}
+    for entry in journal.entries():
+        if entry.state is JournalState.APPLIED:
+            applied_by_sql[entry.sql] = applied_by_sql.get(entry.sql, 0) + 1
+    for sql, count in applied_by_sql.items():
+        _require(count == 1,
+                 f"{count} applied journal entries for {sql!r}", seed)
+
+    # Journal/schema agreement for index creations (both directions:
+    # every applied index exists, every other outcome left none behind
+    # unless a later entry re-applied the same statement).
+    index_entries: dict[str, bool] = {}
+    for entry in journal.entries():
+        if entry.kind == "create index":
+            index_entries[entry.object_name] = (
+                index_entries.get(entry.object_name, False)
+                or entry.state is JournalState.APPLIED)
+    for index_name, should_exist in index_entries.items():
+        exists = database.catalog.has_index(index_name)
+        _require(exists == should_exist,
+                 f"index {index_name!r}: schema says "
+                 f"{'present' if exists else 'absent'}, journal says "
+                 f"{'applied' if should_exist else 'not applied'}", seed)
+
+    # The daemon's exactly-once guarantee must survive the chaos too.
+    for wl_table in TABLE_SOURCES:
+        storage = workload_db.database.storage_for(wl_table)
+        seqs = [row[-1] for _rowid, row in storage.scan()]
+        _require(len(seqs) == len(set(seqs)),
+                 f"{wl_table} persisted duplicate source rows", seed)
+
+
+def _fresh_tuner(setup: Setup, policy: TuningPolicy,
+                 ) -> tuple[AutonomousTuner, TuningJournal]:
+    """A tuner as a restarted process would build it: nothing carried
+    over in memory, journal and breakers reloaded from persisted rows."""
+    workload_db = setup.workload_db
+    assert workload_db is not None
+    journal = TuningJournal(workload_db.database, setup.engine.clock)
+    tuner = AutonomousTuner(setup.engine, "nref", workload_db,
+                            daemon=setup.daemon, policy=policy,
+                            journal=journal)
+    return tuner, journal
+
+
+def _fault_for_round(rng: random.Random, round_no: int,
+                     config: SoakConfig) -> str | None:
+    """Pick this round's fault spec (or None).
+
+    Round 0 always faults the first journal *mark* (``after=1`` skips
+    the intent write), leaving a dangling ``intent`` entry with the
+    change in the schema — the exact half-applied window the undo SQL
+    exists for — so every seed exercises rollback recovery.  Later
+    rounds draw from a schedule weighted toward the crash-window seams
+    (``journal.write``, ``ddl.apply``); ``ddl.apply`` sometimes fails
+    *every* change in the cycle, which builds the consecutive-failure
+    streaks the circuit breakers quarantine on.
+    """
+    if round_no == 0:
+        return "journal.write:once,after=1"
+    if rng.random() >= config.fault_probability:
+        return None
+    point = rng.choices(CHAOS_FAULT_POINTS,
+                        weights=(30, 30, 10, 15, 15))[0]
+    if point == "ddl.apply" and rng.random() < 0.5:
+        return "ddl.apply:every-n,n=1"  # the whole cycle's changes fail
+    return f"{point}:once,after={rng.randint(0, 4)}"
+
+
+def run_soak(config: SoakConfig) -> SoakReport:
+    """One seeded soak; returns the report or raises on a violation."""
+    faultsim.reset()
+    rng = random.Random(config.seed)
+    clock = VirtualClock(1_000_000.0)
+    scale = NrefScale(proteins=config.proteins)
+    setup = daemon_setup("nref", clock=clock)
+    load_nref(setup.engine.database("nref"), scale, main_pages=2)
+    queries = complex_query_set(scale, count=30, seed=config.seed)
+    policy = TuningPolicy(
+        max_changes_per_cycle=4,
+        quarantine_cooldown_s=config.quarantine_cooldown_s,
+    )
+    report = SoakReport(seed=config.seed)
+    tuner, journal = _fresh_tuner(setup, policy)
+    session = setup.engine.connect("nref")
+    try:
+        for _round in range(config.rounds):
+            clock.advance(config.round_interval_s)
+            for _ in range(config.queries_per_round):
+                session.execute(rng.choice(queries))
+
+            spec = _fault_for_round(rng, _round, config)
+            if spec is not None:
+                faultsim.arm_from_spec(spec, clock=clock)
+                report.faults_armed.append(spec)
+            try:
+                cycle = tuner.run_cycle()
+            except (ReproError, OSError):
+                report.cycles_failed += 1
+            else:
+                report.recoveries += len(cycle.recovered)
+                report.applied += cycle.applied_count
+                report.quarantined += len(cycle.quarantined)
+            faultsim.reset()
+
+            if rng.random() < config.crash_probability:
+                # Kill the tuner: its breakers, history and journal
+                # mirror die here; only persisted state survives.
+                tuner, journal = _fresh_tuner(setup, policy)
+                report.crashes += 1
+
+            report.recoveries += len(tuner.recover())
+            _require(tuner.recover() == [],
+                     "recovery replay was not idempotent", config.seed)
+            check_invariants(setup, journal, config.seed)
+            report.invariant_sweeps += 1
+            report.rounds += 1
+    finally:
+        session.close()
+        faultsim.reset()
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="seeded crash/recovery soak for the autonomous "
+                    "tuning loop (exit 0 only if every invariant held)")
+    parser.add_argument("--seed", action="append", type=int, default=[],
+                        metavar="N",
+                        help="soak seed (repeatable; default: 1 2 3)")
+    parser.add_argument("--rounds", type=int, default=12,
+                        help="rounds per seed (default: 12)")
+    parser.add_argument("--proteins", type=int, default=300,
+                        help="NREF scale (default: 300)")
+    arguments = parser.parse_args(argv)
+    seeds = arguments.seed or [1, 2, 3]
+    for seed in seeds:
+        config = SoakConfig(seed=seed, rounds=arguments.rounds,
+                            proteins=arguments.proteins)
+        try:
+            report = run_soak(config)
+        except ChaosInvariantError as error:
+            print(f"INVARIANT VIOLATION: {error}", file=sys.stderr)
+            return 1
+        print(report.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

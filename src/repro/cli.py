@@ -88,6 +88,7 @@ class Shell:
             "alerts": self.cmd_alerts,
             "analyze": self.cmd_analyze,
             "autopilot": self.cmd_autopilot,
+            "tuner": self.cmd_tuner,
             "load": self.cmd_load,
             "dump": self.cmd_dump,
             "restore": self.cmd_restore,
@@ -133,6 +134,7 @@ class Shell:
             "  \\alerts              alerts fired so far",
             "  \\analyze             run the analyzer on the workload DB",
             "  \\autopilot [dry]     one autonomous tuning cycle",
+            "  \\tuner status        tuner health: cycles, quarantine, journal",
             "  \\load nref [n]       load the synthetic NREF database",
             "  \\dump <file>         logical dump (unloaddb) to a file",
             "  \\restore <file>      restore a dump as a new database",
@@ -267,6 +269,40 @@ class Shell:
         self.tuner.policy = TuningPolicy()
         return report.describe()
 
+    def cmd_tuner(self, argument: str) -> str:
+        if argument.lower() not in ("", "status"):
+            return "usage: \\tuner status"
+        status = self.tuner.status()
+        journal = status.journal
+        last_write = (f"{journal.last_write_at:.1f}"
+                      if journal.last_write_at is not None else "never")
+        lines = [
+            f"  running: {status.running}",
+            f"  cycles run: {status.cycles_run}",
+            f"  cycle failures: {status.cycle_failures} "
+            f"(consecutive: {status.consecutive_failures}, "
+            f"backoff: {status.backoff_s:g}s)",
+            f"  last error: {status.last_error or '-'}",
+            f"  changes applied: {status.changes_applied}",
+            f"  journal: {journal.entries} entries "
+            f"(intent: {journal.intent}, applied: {journal.applied}, "
+            f"failed: {journal.failed}, rolled back: {journal.rolled_back})",
+            f"  journal writes: {journal.transitions} "
+            f"(failures: {journal.write_failures}, "
+            f"pruned: {journal.entries_pruned}, last at: {last_write})",
+        ]
+        if status.quarantined:
+            rows = [(q.sql[:48], str(q.failures),
+                     f"{q.cooldown_remaining_s:.0f}",
+                     (q.last_error[:40] or "-"))
+                    for q in status.quarantined]
+            lines.append("  quarantined:")
+            lines.append(format_rows(
+                ("statement", "failures", "cooldown_s", "last error"), rows))
+        else:
+            lines.append("  quarantined: (none)")
+        return "\n".join(lines)
+
     def cmd_load(self, argument: str) -> str:
         parts = argument.split()
         if not parts or parts[0].lower() != "nref":
@@ -335,11 +371,16 @@ def main(argv: list[str] | None = None) -> int:
         # lazily so the shell never pays for the analyzer.
         from repro.staticcheck.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # `repro chaos [--seeds ...]` — the crash/recovery soak harness;
+        # also imported lazily.
+        from repro.chaos import main as chaos_main
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-shell",
         description="SQL + monitoring shell over the repro engine "
                     "(use `lint` as the first argument for static "
-                    "analysis)")
+                    "analysis, `chaos` for the crash-recovery soak)")
     parser.add_argument("--database", default="shell",
                         help="database name to create and connect to")
     parser.add_argument("--execute", action="append", default=[],
@@ -349,9 +390,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fault", action="append", default=[],
                         metavar="SPEC",
                         help="arm a failure point, e.g. "
-                             "'disk.read:every-n=10' or "
+                             "'disk.read:every-n=10', "
                              "'session.execute:p=0.05,seed=7,latency=0.2' "
-                             "(repeatable; see \\fault points)")
+                             "or 'ddl.apply:once' to fail the tuner's "
+                             "next change (also: analyzer.scan, "
+                             "journal.write; repeatable; "
+                             "see \\fault points)")
     arguments = parser.parse_args(argv)
     shell = Shell(arguments.database)
     for spec in arguments.fault:

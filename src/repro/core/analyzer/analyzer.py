@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import faultsim
 from repro.core.analyzer.index_advisor import AdvisorConfig, IndexAdvisor
+from repro.errors import AnalyzerError
 from repro.core.analyzer.recommendations import Recommendation
 from repro.core.analyzer.reports import (
     CostDiagram,
@@ -109,7 +111,14 @@ class Analyzer:
 
     def analyze_workload_db(self, workload_db: WorkloadDatabase,
                             top_statements: int = 10) -> AnalysisReport:
-        """Analyze the persisted workload history (the normal path)."""
+        """Analyze the persisted workload history (the normal path).
+
+        The ``analyzer.scan`` failure point fires before any workload
+        data is read, so an injected fault models an analyzer that
+        cannot reach the workload DB at all.
+        """
+        faultsim.fire("analyzer.scan", error=AnalyzerError,
+                      clock=self.database.clock)
         view = view_from_workload_db(workload_db)
         statistics_rows = [
             row for _rowid, row in

@@ -4,6 +4,12 @@ Each rule/advisor emits :class:`Recommendation` objects carrying the
 SQL that would implement them.  ``apply_recommendations`` executes the
 accepted set against a session — in the paper this step is manual (the
 DBA reviews the report first); here both modes are supported.
+
+The implementation seam is guarded by the ``ddl.apply`` failure point
+(:mod:`repro.faultsim`) so tests can fail any individual change, and
+:func:`undo_sql` captures the inverse statement *before* a change runs
+— the autonomous tuner journals it at intent time so an interrupted
+change can be rolled back after a crash.
 """
 
 from __future__ import annotations
@@ -12,7 +18,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import faultsim
+from repro.errors import ExecutionError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
     from repro.engine.session import Session
 
 
@@ -63,28 +73,60 @@ class AppliedRecommendation:
     error: str = ""
 
 
+APPLICATION_ORDER = {
+    RecommendationKind.MODIFY_TO_BTREE: 0,
+    RecommendationKind.CREATE_INDEX: 1,
+    RecommendationKind.CREATE_STATISTICS: 2,
+}
+
+
+def order_for_application(
+        recommendations: list[Recommendation]) -> list[Recommendation]:
+    """MODIFY operations first (so index builds land on the final
+    structure), then index creations, then statistics collection (so
+    histograms reflect the final physical layout)."""
+    return sorted(recommendations, key=lambda r: APPLICATION_ORDER[r.kind])
+
+
+def undo_sql(recommendation: Recommendation,
+             database: "Database") -> str:
+    """The inverse statement, captured *before* the change is applied.
+
+    * index creation undoes with ``drop index``;
+    * MODIFY undoes with a MODIFY back to the structure the table has
+      right now (which is why this must run at intent time);
+    * statistics collection is idempotent and cheap — it has no undo
+      and is recovered by completing forward instead.
+    """
+    if recommendation.kind is RecommendationKind.CREATE_INDEX:
+        return f"drop index {recommendation.index_name}"
+    if recommendation.kind is RecommendationKind.MODIFY_TO_BTREE:
+        current = database.catalog.table(recommendation.table_name).structure
+        return f"modify {recommendation.table_name} to {current.value}"
+    return ""
+
+
+def apply_one(session: "Session",
+              recommendation: Recommendation) -> AppliedRecommendation:
+    """Implement one recommendation; failures are reported, not raised.
+
+    The ``ddl.apply`` failure point fires before the statement reaches
+    the engine, so an injected fault behaves like a change that never
+    started (distinct from ``session.execute``, which fails *inside*
+    the monitored pipeline).
+    """
+    sql = recommendation.to_sql()
+    try:
+        faultsim.fire("ddl.apply", error=ExecutionError)
+        session.execute(sql)
+        return AppliedRecommendation(recommendation, sql, True)
+    except Exception as error:  # noqa: BLE001 - report, don't abort
+        return AppliedRecommendation(recommendation, sql, False, str(error))
+
+
 def apply_recommendations(session: "Session",
                           recommendations: list[Recommendation],
                           ) -> list[AppliedRecommendation]:
-    """Implement the accepted recommendations through a session.
-
-    MODIFY operations run first (so index builds land on the final
-    structure), then index creations, then statistics collection (so
-    histograms reflect the final physical layout).
-    """
-    order = {
-        RecommendationKind.MODIFY_TO_BTREE: 0,
-        RecommendationKind.CREATE_INDEX: 1,
-        RecommendationKind.CREATE_STATISTICS: 2,
-    }
-    applied: list[AppliedRecommendation] = []
-    for recommendation in sorted(recommendations,
-                                 key=lambda r: order[r.kind]):
-        sql = recommendation.to_sql()
-        try:
-            session.execute(sql)
-            applied.append(AppliedRecommendation(recommendation, sql, True))
-        except Exception as error:  # noqa: BLE001 - report, don't abort
-            applied.append(AppliedRecommendation(
-                recommendation, sql, False, str(error)))
-    return applied
+    """Implement the accepted recommendations through a session."""
+    return [apply_one(session, recommendation)
+            for recommendation in order_for_application(recommendations)]

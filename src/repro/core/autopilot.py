@@ -16,13 +16,44 @@ Safety policy:
   afford offline rebuilds,
 * dry-run mode reports what *would* be applied,
 * changes already applied in an earlier cycle are never repeated.
+
+Crash-only operation (the daemon's "never dies, never lies" contract,
+extended to the implementation end of the loop):
+
+* Every change is journaled *before* it runs — intent, undo SQL and
+  outcome live in the workload DB (:mod:`repro.core.tuning_journal`),
+  so the applied-set is rebuilt from persisted state, never from
+  memory alone.  A tuner killed at any point restarts cleanly.
+* :meth:`recover` replays interrupted journal entries at the start of
+  every cycle: a change whose intent was journaled but whose outcome
+  was lost is rolled back with the captured undo SQL (if it reached
+  the schema) or marked rolled-back (if it never did); idempotent
+  statistics collection is completed forward instead.
+* A recommendation that keeps failing is *quarantined* by a
+  per-recommendation circuit breaker: after
+  ``quarantine_after_failures`` consecutive failures it is benched for
+  ``quarantine_cooldown_s`` and skipped with a reason in the cycle
+  report instead of being retried every cycle.  Failure streaks are
+  persisted in the journal, so quarantine survives a restart.
+* ``start``/``stop`` run cycles on a background thread with the same
+  discipline as the storage daemon: failed cycles never kill the loop
+  (exponential backoff, capped), a hung thread is never orphaned.
+
+Locking is two-level like the daemon's.  ``_cycle_mutex`` serializes
+whole tuning cycles end to end (held across the SQL round trips by
+design; never taken on engine hot paths).  ``_lock`` stays cheap: it
+guards only counters and breaker state and is never held across I/O.
+Lock order: ``_cycle_mutex`` -> journal ``_write_mutex`` -> ``_lock``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
+from repro.catalog.schema import StorageStructure
+from repro.clock import Clock
 from repro.core.analyzer.analyzer import Analyzer
 from repro.core.analyzer.dependencies import (
     build_dependency_graph,
@@ -32,13 +63,23 @@ from repro.core.analyzer.recommendations import (
     AppliedRecommendation,
     Recommendation,
     RecommendationKind,
-    apply_recommendations,
+    apply_one,
+    order_for_application,
+    undo_sql,
 )
 from repro.core.daemon import StorageDaemon
+from repro.core.tuning_journal import (
+    JournalEntry,
+    JournalHealth,
+    TuningJournal,
+)
 from repro.core.workload_db import WorkloadDatabase
+from repro.errors import MonitorError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
     from repro.engine.engine import EngineInstance
+    from repro.engine.session import Session
 
 
 @dataclass(frozen=True)
@@ -51,6 +92,26 @@ class TuningPolicy:
     allow_structure_changes: bool = True
     dry_run: bool = False
 
+    quarantine_after_failures: int = 3
+    """Consecutive failures before a recommendation is benched."""
+
+    quarantine_cooldown_s: float = 600.0
+    """Seconds a quarantined recommendation sits out before one retry
+    is allowed (it re-quarantines immediately on another failure)."""
+
+    cycle_interval_s: float = 300.0
+    """Seconds between cycles when running as a background thread."""
+
+    cycle_backoff_initial_s: float = 1.0
+    """Extra delay after the first consecutive failed cycle; doubles
+    per further failure, capped at ``cycle_backoff_max_s``."""
+
+    cycle_backoff_max_s: float = 60.0
+
+    stop_join_timeout_s: float = 5.0
+    """Seconds ``stop()`` waits for the cycle thread before reporting a
+    hung tuner (the thread handle is kept so it cannot be leaked)."""
+
 
 @dataclass
 class TuningCycleReport:
@@ -60,7 +121,17 @@ class TuningCycleReport:
     statements_analyzed: int = 0
     considered: list[Recommendation] = field(default_factory=list)
     skipped: list[tuple[Recommendation, str]] = field(default_factory=list)
+    quarantined: list[tuple[Recommendation, str]] = field(default_factory=list)
+    """Subset of ``skipped`` benched by the circuit breaker."""
     applied: list[AppliedRecommendation] = field(default_factory=list)
+    recovered: list[tuple[str, str]] = field(default_factory=list)
+    """Interrupted journal entries resolved this cycle: (sql, action)."""
+    daemon_error: str = ""
+    """Poll/flush failure the cycle survived (analysis used the data
+    already persisted)."""
+    journal_errors: int = 0
+    """Journal writes that failed during the cycle (fail-closed for
+    intents; outcome marks are healed by the next recovery)."""
     dry_run: bool = False
 
     @property
@@ -72,14 +143,50 @@ class TuningCycleReport:
                  f"({'dry run' if self.dry_run else 'live'}):",
                  f"  statements analyzed: {self.statements_analyzed}",
                  f"  recommendations considered: {len(self.considered)}"]
+        for sql, action in self.recovered:
+            lines.append(f"  recovered: {sql} -- {action}")
+        if self.daemon_error:
+            lines.append(f"  daemon unavailable: {self.daemon_error} "
+                         f"(analyzed persisted history)")
         for recommendation, reason in self.skipped:
             lines.append(f"  skipped: {recommendation.to_sql()} -- {reason}")
         for applied in self.applied:
             status = "ok" if applied.succeeded else f"FAILED: {applied.error}"
             lines.append(f"  applied: {applied.sql} -- {status}")
+        if self.journal_errors:
+            lines.append(f"  journal write failures: {self.journal_errors}")
         if self.dry_run and self.considered and not self.applied:
             lines.append("  (dry run: nothing executed)")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QuarantineStatus:
+    """One benched recommendation, as shown by ``\\tuner status``."""
+
+    sql: str
+    failures: int
+    cooldown_remaining_s: float
+    last_error: str
+
+
+@dataclass(frozen=True)
+class TunerStatus:
+    """Health snapshot returned by :meth:`AutonomousTuner.status`."""
+
+    running: bool
+    cycles_run: int
+    cycle_failures: int
+    consecutive_failures: int
+    backoff_s: float
+    last_error: str | None
+    changes_applied: int
+    quarantined: tuple[QuarantineStatus, ...]
+    journal: JournalHealth
+
+
+_MAX_HISTORY = 64
+_MAX_BREAKER_ENTRIES = 256
 
 
 class AutonomousTuner:
@@ -89,23 +196,216 @@ class AutonomousTuner:
                  workload_db: WorkloadDatabase,
                  daemon: StorageDaemon | None = None,
                  policy: TuningPolicy | None = None,
-                 analyzer: Analyzer | None = None) -> None:
+                 analyzer: Analyzer | None = None,
+                 journal: TuningJournal | None = None) -> None:
         self.engine = engine
         self.database_name = database_name
         self.workload_db = workload_db
         self.daemon = daemon
         self.policy = policy or TuningPolicy()
         self.analyzer = analyzer or Analyzer(engine.database(database_name))
-        self.history: list[TuningCycleReport] = []
-        self._already_applied: set[str] = set()
+        self.journal = journal if journal is not None \
+            else workload_db.tuning_journal()
+        self.clock: Clock = engine.clock
+        # Serializes whole cycles/recoveries end to end (see module doc).
+        self._cycle_mutex = threading.Lock()
+        self._lock = threading.Lock()
+        # Recent cycle reports, oldest dropped beyond the cap.
+        self.history: list[TuningCycleReport] = []  # staticcheck: shared(_lock); bounded(_MAX_HISTORY trim)
+        # Circuit-breaker state per recommendation SQL; entries are
+        # cleared on success and expired entries are evicted beyond
+        # _MAX_BREAKER_ENTRIES.
+        self._failures: dict[str, int] = {}  # staticcheck: shared(_lock); bounded(_MAX_BREAKER_ENTRIES evict)
+        self._quarantined_until: dict[str, float] = {}  # staticcheck: shared(_lock); bounded(_MAX_BREAKER_ENTRIES evict)
+        self._breaker_errors: dict[str, str] = {}  # staticcheck: shared(_lock); bounded(_MAX_BREAKER_ENTRIES evict)
+        self.total_cycles = 0  # staticcheck: shared(_lock)
+        self.cycle_failures = 0  # staticcheck: shared(_lock)
+        self.last_cycle_error: str | None = None  # staticcheck: shared(_lock)
+        self._consecutive_failures = 0  # staticcheck: shared(_lock)
+        self._backoff_s = 0.0  # staticcheck: shared(_lock)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._seed_breakers_from_journal()
+
+    # -- circuit breakers ----------------------------------------------------
+
+    def _seed_breakers_from_journal(self) -> None:
+        """Rebuild quarantine state from persisted failure streaks, so
+        a restarted tuner does not immediately retry a poisoned
+        recommendation it had already benched."""
+        threshold = self.policy.quarantine_after_failures
+        cooldown = self.policy.quarantine_cooldown_s
+        with self._lock:
+            for sql, (count, last_ts) in \
+                    self.journal.failure_streaks().items():
+                self._failures[sql] = count
+                if count >= threshold:
+                    self._quarantined_until[sql] = last_ts + cooldown
+                    self._breaker_errors.setdefault(
+                        sql, "failures persisted in the tuning journal")
+
+    def _quarantine_remaining(self, sql: str) -> float | None:
+        """Seconds of cooldown left, or None when the SQL may run."""
+        now = self.clock.now()
+        with self._lock:
+            until = self._quarantined_until.get(sql)
+            if until is None or now >= until:
+                # Half-open: the cooldown expired, one retry is allowed
+                # (the entry stays until a success clears it, so another
+                # failure re-quarantines immediately).
+                return None
+            return until - now
+
+    def _record_apply_success(self, sql: str) -> None:
+        with self._lock:
+            self._failures.pop(sql, None)
+            self._quarantined_until.pop(sql, None)
+            self._breaker_errors.pop(sql, None)
+
+    def _record_apply_failure(self, sql: str, error: str) -> bool:
+        """Count a failure; returns True when the SQL is now benched."""
+        now = self.clock.now()
+        with self._lock:
+            count = self._failures.get(sql, 0) + 1
+            self._failures[sql] = count
+            self._breaker_errors[sql] = error
+            benched = count >= self.policy.quarantine_after_failures
+            if benched:
+                self._quarantined_until[sql] = \
+                    now + self.policy.quarantine_cooldown_s
+            self._evict_expired_breakers(now)
+            return benched
+
+    # staticcheck: guarded-by(_lock)
+    def _evict_expired_breakers(self, now: float) -> None:
+        if len(self._failures) <= _MAX_BREAKER_ENTRIES:
+            return
+        for sql in [s for s, until in self._quarantined_until.items()
+                    if now >= until]:
+            self._failures.pop(sql, None)
+            self._quarantined_until.pop(sql, None)
+            self._breaker_errors.pop(sql, None)
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> list[tuple[str, str]]:
+        """Resolve interrupted journal entries; returns (sql, action).
+
+        Idempotent: once every entry is in a terminal state, replaying
+        recovery does nothing and writes nothing.  Also runs at the
+        start of every cycle, so a crashed tuner heals on its next
+        wake-up without operator help.
+        """
+        with self._cycle_mutex:
+            # Recovery's SQL round trips run under the cycle mutex by
+            # design — a concurrent cycle must not apply changes while
+            # interrupted entries are being rolled back.
+            return self._recover_locked()  # staticcheck: ignore[LCK004]
+
+    def _recover_locked(self) -> list[tuple[str, str]]:
+        interrupted = self.journal.interrupted()
+        if not interrupted:
+            return []
+        actions: list[tuple[str, str]] = []
+        database = self.engine.database(self.database_name)
+        with self.engine.connect(self.database_name) as session:
+            for entry in interrupted:
+                actions.append(
+                    (entry.sql,
+                     self._recover_entry(session, database, entry)))
+        return actions
+
+    def _recover_entry(self, session: "Session", database: "Database",
+                       entry: JournalEntry) -> str:
+        """Resolve one interrupted entry; returns a description.
+
+        Journal marks are best-effort here: if the mark itself fails,
+        the entry stays ``intent`` and the next recovery retries it —
+        convergence over availability.
+        """
+        kind = RecommendationKind(entry.kind)
+        if kind is RecommendationKind.CREATE_STATISTICS:
+            # Statistics collection is idempotent: complete forward.
+            try:
+                session.execute(entry.sql)
+            except (ReproError, OSError) as error:
+                self._mark(self.journal.mark_failed, entry.entry_id,
+                           str(error))
+                return f"forward completion failed: {error}"
+            self._mark(self.journal.mark_applied, entry.entry_id)
+            return "completed forward (idempotent)"
+        if not self._change_present(database, kind, entry):
+            # The crash hit before the DDL reached the schema.
+            self._mark(self.journal.mark_rolled_back, entry.entry_id)
+            return "rolled back (never reached the schema)"
+        # The DDL is in the schema but its outcome was never journaled:
+        # the cycle died half-applied.  Revert with the undo captured
+        # at intent time; the analyzer will re-recommend it if it is
+        # still worth having.
+        try:
+            session.execute(entry.undo_sql)
+        except (ReproError, OSError) as error:
+            return f"rollback failed, will retry: {error}"
+        self._mark(self.journal.mark_rolled_back, entry.entry_id)
+        return "rolled back with journaled undo"
+
+    def _mark(self, write: Callable[..., None], entry_id: int,
+              *args: str) -> None:
+        """Journal transition that must not kill the cycle; failures
+        are counted and healed by the next recovery pass."""
+        try:
+            write(entry_id, *args)
+        except (MonitorError, OSError):
+            with self._lock:
+                self.last_cycle_error = "journal mark failed"
+
+    @staticmethod
+    def _change_present(database: "Database", kind: RecommendationKind,
+                        entry: JournalEntry) -> bool:
+        if kind is RecommendationKind.CREATE_INDEX:
+            return database.catalog.has_index(entry.object_name)
+        if kind is RecommendationKind.MODIFY_TO_BTREE:
+            if not database.catalog.has_table(entry.table_name):
+                return False
+            structure = database.catalog.table(entry.table_name).structure
+            return structure is StorageStructure.BTREE
+        return False
+
+    # -- the cycle -----------------------------------------------------------
 
     def run_cycle(self) -> TuningCycleReport:
-        """One full autonomous cycle; returns what happened."""
-        report = TuningCycleReport(cycle=len(self.history) + 1,
+        """One full autonomous cycle; returns what happened.
+
+        Raises on failure (after recording it) so foreground callers
+        see the error; the background loop catches and retries with
+        backoff.
+        """
+        with self._cycle_mutex:
+            try:
+                # Holding _cycle_mutex across the SQL round trips is
+                # the point: two concurrent cycles would journal and
+                # apply the same recommendations twice.
+                report = self._cycle_locked()  # staticcheck: ignore[LCK004]
+            except (ReproError, OSError) as error:
+                self._record_cycle_failure(error)
+                raise
+            self._record_cycle_success()
+            return report
+
+    def _cycle_locked(self) -> TuningCycleReport:
+        with self._lock:
+            cycle_no = self.total_cycles + 1
+        report = TuningCycleReport(cycle=cycle_no,
                                    dry_run=self.policy.dry_run)
+        report.recovered = self._recover_locked()
         if self.daemon is not None:
-            self.daemon.poll_once()
-            self.daemon.flush()
+            try:
+                self.daemon.poll_once()
+                self.daemon.flush()
+            except (ReproError, OSError) as error:
+                # The daemon records its own failure; the cycle goes on
+                # against the history already persisted.
+                report.daemon_error = f"{type(error).__name__}: {error}"
         analysis = self.analyzer.analyze_workload_db(self.workload_db)
         report.statements_analyzed = analysis.statements_analyzed
         report.considered = list(analysis.recommendations)
@@ -118,11 +418,27 @@ class AutonomousTuner:
             min_benefit=self.policy.min_index_benefit,
         )
         report.skipped.extend(selection.dropped)
+        runnable = self._filter_runnable(selection.selected, report)
 
+        if not self.policy.dry_run and runnable:
+            with self.engine.connect(self.database_name) as session:
+                for recommendation in order_for_application(runnable):
+                    self._apply_journaled(session, database,
+                                          recommendation, report,
+                                          cycle_no)
+        with self._lock:
+            self.total_cycles = cycle_no
+            self.history.append(report)
+            del self.history[:-_MAX_HISTORY]
+        return report
+
+    def _filter_runnable(self, selected: list[Recommendation],
+                         report: TuningCycleReport) -> list[Recommendation]:
+        already_applied = self.journal.applied_sqls()
         runnable: list[Recommendation] = []
-        for recommendation in selection.selected:
+        for recommendation in selected:
             sql = recommendation.to_sql()
-            if sql in self._already_applied:
+            if sql in already_applied:
                 report.skipped.append(
                     (recommendation, "already applied in an earlier cycle"))
                 continue
@@ -131,23 +447,152 @@ class AutonomousTuner:
                 report.skipped.append(
                     (recommendation, "structure changes disabled by policy"))
                 continue
+            remaining = self._quarantine_remaining(sql)
+            if remaining is not None:
+                with self._lock:
+                    failures = self._failures.get(sql, 0)
+                reason = (f"quarantined after {failures} failures; "
+                          f"retry in {remaining:.0f}s")
+                report.skipped.append((recommendation, reason))
+                report.quarantined.append((recommendation, reason))
+                continue
             if len(runnable) >= self.policy.max_changes_per_cycle:
                 report.skipped.append(
                     (recommendation, "per-cycle change cap reached"))
                 continue
             runnable.append(recommendation)
+        return runnable
 
-        if not self.policy.dry_run and runnable:
-            with self.engine.connect(self.database_name) as session:
-                report.applied = apply_recommendations(session, runnable)
-            for applied in report.applied:
-                if applied.succeeded:
-                    self._already_applied.add(applied.sql)
-        elif self.policy.dry_run:
-            report.applied = []
-        self.history.append(report)
-        return report
+    def _apply_journaled(self, session: "Session", database: "Database",
+                         recommendation: Recommendation,
+                         report: TuningCycleReport, cycle_no: int) -> None:
+        """Journal intent, apply, journal the outcome.
+
+        A journal outage fails *closed*: a change whose intent cannot
+        be durably recorded is skipped, because a crash during an
+        unjournaled change could never be recovered.
+        """
+        sql = recommendation.to_sql()
+        try:
+            undo = undo_sql(recommendation, database)
+            entry_id = self.journal.record_intent(
+                recommendation, undo, cycle_no)
+        except (MonitorError, OSError) as error:
+            report.skipped.append(
+                (recommendation, f"journal unavailable: {error}"))
+            report.journal_errors += 1
+            return
+        outcome = apply_one(session, recommendation)
+        report.applied.append(outcome)
+        if outcome.succeeded:
+            self._mark(self.journal.mark_applied, entry_id)
+            self._record_apply_success(sql)
+        else:
+            self._mark(self.journal.mark_failed, entry_id, outcome.error)
+            if self._record_apply_failure(sql, outcome.error):
+                report.quarantined.append(
+                    (recommendation,
+                     f"quarantined after "
+                     f"{self.policy.quarantine_after_failures} failures"))
+        report.journal_errors += self._drain_mark_errors()
+
+    def _drain_mark_errors(self) -> int:
+        with self._lock:
+            if self.last_cycle_error == "journal mark failed":
+                self.last_cycle_error = None
+                return 1
+            return 0
+
+    # -- failure accounting --------------------------------------------------
+
+    def _record_cycle_failure(self, error: Exception) -> None:
+        with self._lock:
+            self.cycle_failures += 1
+            self._consecutive_failures += 1
+            self.last_cycle_error = f"{type(error).__name__}: {error}"
+            self._backoff_s = min(
+                self.policy.cycle_backoff_max_s,
+                self.policy.cycle_backoff_initial_s
+                * 2.0 ** (self._consecutive_failures - 1))
+
+    def _record_cycle_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._backoff_s = 0.0
+
+    def status(self) -> TunerStatus:
+        """Health snapshot (the shell's ``\\tuner status``)."""
+        journal_health = self.journal.health()
+        changes_applied = len(self.journal.applied_sqls())
+        now = self.clock.now()
+        with self._lock:
+            quarantined = tuple(
+                QuarantineStatus(
+                    sql=sql,
+                    failures=self._failures.get(sql, 0),
+                    cooldown_remaining_s=max(0.0, until - now),
+                    last_error=self._breaker_errors.get(sql, ""),
+                )
+                for sql, until in sorted(self._quarantined_until.items()))
+            return TunerStatus(
+                running=self._thread is not None and self._thread.is_alive(),
+                cycles_run=self.total_cycles,
+                cycle_failures=self.cycle_failures,
+                consecutive_failures=self._consecutive_failures,
+                backoff_s=self._backoff_s,
+                last_error=self.last_cycle_error,
+                changes_applied=changes_applied,
+                quarantined=quarantined,
+                journal=journal_health,
+            )
 
     @property
     def total_changes_applied(self) -> int:
-        return len(self._already_applied)
+        return len(self.journal.applied_sqls())
+
+    # -- background thread ---------------------------------------------------
+
+    def start(self) -> None:
+        """Run tuning cycles on a background thread.
+
+        Refuses while a previous thread is still alive — including one
+        whose ``stop()`` timed out — so two tuners can never journal
+        and apply the same recommendations concurrently.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            raise MonitorError("autonomous tuner is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-autonomous-tuner", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the cycle thread.
+
+        Never hides a hung cycle thread: if ``join`` times out the
+        handle is *kept* — so ``start()`` keeps refusing — and
+        MonitorError is raised.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.policy.stop_join_timeout_s)
+            if thread.is_alive():
+                raise MonitorError(
+                    "autonomous tuner thread did not stop within "
+                    f"{self.policy.stop_join_timeout_s:g}s; thread handle "
+                    "kept, restart refused while it lives")
+            self._thread = None
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                backoff = self._backoff_s
+            if self._stop.wait(self.policy.cycle_interval_s + backoff):
+                break
+            try:
+                self.run_cycle()
+            except (ReproError, OSError):
+                # Recorded by run_cycle; the next wake-up retries with
+                # exponential backoff added to the interval.
+                pass

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.errors import ReproError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.engine import EngineInstance
     from repro.engine.session import Session
@@ -67,18 +69,27 @@ class WatchdogMonitor:
 
         The geometry probes are real queries (``SELECT COUNT(*)``),
         which is exactly why a watchdog loads the system it watches.
+
+        A probe that fails (a faulted ``session.execute``, a server
+        hiccup) discards the cached session before re-raising, so the
+        next poll reconnects instead of reusing a session in an
+        unknown state.
         """
         session = self._ensure_session()
         database = self.engine.database(self.database_name)
         geometry: dict[str, tuple[int, int, int]] = {}
-        for table in self.sample_tables:
-            result = session.execute(f"select count(*) from {table}")
-            self.report.queries_issued += 1
-            storage = database.storage_for(table)
-            geometry[table] = (
-                result.scalar(), storage.page_count,
-                storage.overflow_page_count,
-            )
+        try:
+            for table in self.sample_tables:
+                result = session.execute(f"select count(*) from {table}")
+                self.report.queries_issued += 1
+                storage = database.storage_for(table)
+                geometry[table] = (
+                    result.scalar(), storage.page_count,
+                    storage.overflow_page_count,
+                )
+        except (ReproError, OSError):
+            self._discard_session()
+            raise
         sample = WatchdogSample(
             timestamp=self.engine.clock.now(),
             statistics=dict(self.engine.system_statistics()),
@@ -86,6 +97,16 @@ class WatchdogMonitor:
         )
         self.report.samples.append(sample)
         return sample
+
+    def _discard_session(self) -> None:
+        """Drop the cached session after a failed poll; closing is
+        best-effort because the session may itself be broken."""
+        session, self._session = self._session, None
+        if session is not None:
+            try:
+                session.close()
+            except (ReproError, OSError):
+                pass
 
     def close(self) -> None:
         if self._session is not None:

@@ -18,6 +18,7 @@ daemon that died mid-flush resumes without duplicating or losing rows.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro import faultsim
 from repro.catalog.schema import Column, DataType, StorageStructure, TableSchema
@@ -26,6 +27,9 @@ from repro.config import EngineConfig
 from repro.engine.database import Database
 from repro.errors import MonitorError
 from repro.optimizer.interfaces import estimate_row_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tuning_journal import TuningJournal
 
 
 def _int(name: str) -> Column:
@@ -122,8 +126,24 @@ class WorkloadDatabase:
         self.config = config or EngineConfig()
         self.clock = clock or SystemClock()
         self.database = Database(name, self.config, self.clock)
+        self._journal: "TuningJournal | None" = None
         for schema in WORKLOAD_TABLES:
             self.database.create_table(schema)
+
+    def tuning_journal(self) -> "TuningJournal":
+        """The durable change journal persisted alongside the workload
+        history (the ``tuning_journal`` table; created on first use).
+
+        Like the workload tables it survives any crash of its writer:
+        a restarted :class:`~repro.core.autopilot.AutonomousTuner`
+        rebuilds its applied-set and circuit-breaker state from it.
+        """
+        if self._journal is None:
+            # Imported lazily: the journal pulls in the analyzer's
+            # recommendation model, which itself imports this module.
+            from repro.core.tuning_journal import TuningJournal
+            self._journal = TuningJournal(self.database, self.clock)
+        return self._journal
 
     # -- appends ------------------------------------------------------------
 

@@ -13,6 +13,10 @@ points* wired into the pipeline's seams:
 ``clock.now``             wall-clock reads — jump injection (`clock.py`)
 ``workload_db.append``    workload-DB batch append (`core/workload_db.py`)
 ``workload_db.purge``     workload-DB retention purge (`core/workload_db.py`)
+``ddl.apply``             autonomous DDL implementation
+                          (`core/analyzer/recommendations.py`)
+``analyzer.scan``         analyzer workload scan (`core/analyzer/analyzer.py`)
+``journal.write``         tuning-journal append (`core/tuning_journal.py`)
 ========================  ====================================================
 
 A point is *armed* with a trigger mode — ``once``, ``every-n``,
@@ -52,6 +56,9 @@ FAIL_POINTS = (
     "clock.now",
     "workload_db.append",
     "workload_db.purge",
+    "ddl.apply",
+    "analyzer.scan",
+    "journal.write",
 )
 
 MODES = ("once", "every-n", "for-duration", "probability")

@@ -109,6 +109,16 @@ class TestShellCommands:
         text = shell.handle("\\autopilot dry")
         assert "dry run" in text
 
+    def test_tuner_status(self, shell):
+        shell.handle("\\load nref 100")
+        shell.handle("select count(*) from protein where tax_id = 3")
+        shell.handle("\\autopilot")
+        text = shell.handle("\\tuner status")
+        assert "cycles run: 1" in text
+        assert "journal:" in text
+        assert "quarantined: (none)" in text
+        assert "usage" in shell.handle("\\tuner bogus")
+
 
 class TestReplAndMain:
     def test_repl_quits(self):

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import faultsim
 from repro.core.watchdog import WatchdogMonitor
+from repro.errors import ReproError
 from repro.setups import original_setup
 
 
@@ -58,4 +60,16 @@ class TestWatchdog:
         for _ in range(3):
             watchdog.poll_once()
         assert len(watchdog.report.samples) == 3
+        watchdog.close()
+
+    def test_faulted_poll_discards_session_and_reconnects(self, watched):
+        engine, _session = watched
+        watchdog = WatchdogMonitor(engine, "db", sample_tables=("t",))
+        faultsim.arm_from_spec("session.execute:once")
+        with pytest.raises(ReproError):
+            watchdog.poll_once()
+        # the broken session was discarded, not cached for reuse
+        assert watchdog._session is None
+        sample = watchdog.poll_once()  # reconnects transparently
+        assert sample.table_geometry["t"][0] == 3
         watchdog.close()
