@@ -30,6 +30,8 @@ alone.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import random
 import sys
 from dataclasses import dataclass, field
@@ -37,6 +39,11 @@ from dataclasses import dataclass, field
 from repro import faultsim
 from repro.clock import VirtualClock
 from repro.core.autopilot import AutonomousTuner, TuningPolicy
+from repro.core.lockwitness import (
+    LockWitness,
+    cross_check,
+    static_order_edges,
+)
 from repro.core.tuning_journal import JournalState, TuningJournal
 from repro.core.workload_db import TABLE_SOURCES
 from repro.errors import ReproError
@@ -187,13 +194,18 @@ def _fault_for_round(rng: random.Random, round_no: int,
     return f"{point}:once,after={rng.randint(0, 4)}"
 
 
-def run_soak(config: SoakConfig) -> SoakReport:
-    """One seeded soak; returns the report or raises on a violation."""
+def run_soak(config: SoakConfig,
+             witness: LockWitness | None = None) -> SoakReport:
+    """One seeded soak; returns the report or raises on a violation.
+
+    With a ``witness`` every engine/daemon lock is wrapped, so the soak
+    doubles as a runtime probe of the static lock-order model — the
+    caller cross-checks ``witness.observed_edges()`` afterwards."""
     faultsim.reset()
     rng = random.Random(config.seed)
     clock = VirtualClock(1_000_000.0)
     scale = NrefScale(proteins=config.proteins)
-    setup = daemon_setup("nref", clock=clock)
+    setup = daemon_setup("nref", clock=clock, lock_witness=witness)
     load_nref(setup.engine.database("nref"), scale, main_pages=2)
     queries = complex_query_set(scale, count=30, seed=config.seed)
     policy = TuningPolicy(
@@ -253,17 +265,47 @@ def main(argv: list[str] | None = None) -> int:
                         help="rounds per seed (default: 12)")
     parser.add_argument("--proteins", type=int, default=300,
                         help="NREF scale (default: 300)")
+    parser.add_argument("--witness", action="store_true",
+                        help="wrap engine/daemon locks in the runtime "
+                             "lock witness and cross-check the observed "
+                             "acquisition order against the static "
+                             "LCK003 model (fails on contradictions)")
+    parser.add_argument("--witness-report", type=pathlib.Path,
+                        default=None, metavar="PATH",
+                        help="write the witness report (stats, observed "
+                             "edges, cross-check) as JSON to PATH; "
+                             "implies --witness")
     arguments = parser.parse_args(argv)
     seeds = arguments.seed or [1, 2, 3]
+    witness = None
+    if arguments.witness or arguments.witness_report is not None:
+        witness = LockWitness()
     for seed in seeds:
         config = SoakConfig(seed=seed, rounds=arguments.rounds,
                             proteins=arguments.proteins)
         try:
-            report = run_soak(config)
+            report = run_soak(config, witness=witness)
         except ChaosInvariantError as error:
             print(f"INVARIANT VIOLATION: {error}", file=sys.stderr)
             return 1
         print(report.describe())
+    if witness is not None:
+        checked = cross_check(witness.observed_edges(),
+                              static_order_edges())
+        payload = witness.report()
+        payload["cross_check"] = checked.to_json()
+        if arguments.witness_report is not None:
+            arguments.witness_report.write_text(
+                json.dumps(payload, indent=2) + "\n")
+        edge_count = len(payload["order_edges"])
+        print(f"lock witness: {len(payload['tokens'])} locks, "
+              f"{edge_count} observed order edges, "
+              f"{len(checked.unmodeled)} unmodeled by the static graph")
+        for contradiction in checked.contradictions:
+            print(f"LOCK-ORDER CONTRADICTION: {contradiction}",
+                  file=sys.stderr)
+        if not checked.ok:
+            return 1
     return 0
 
 

@@ -1,0 +1,340 @@
+"""Runtime lock witness: the dynamic half of the lock-order model.
+
+The deep staticcheck phase (LCK003) proves the *absence* of lock-order
+cycles over the acquisition-order graph it derives from source.  That
+proof is only as good as the call-graph resolution behind it, so this
+module provides the measuring counterpart: an opt-in wrapper that
+records what the running system actually does with its locks —
+
+* **acquisition order** — every (held, acquired) pair observed at
+  runtime, with counts and the first held-stack that produced it;
+* **contention** — how often an acquisition found the lock taken, and
+  how long the waits were;
+* **hold times** — total and maximum time each lock was held.
+
+:func:`cross_check` then closes the loop: the observed edges are merged
+with the static model's edges and any acquisition-order cycle that
+involves an observed edge is a *contradiction* — either a real deadlock
+candidate the static phase missed (an unresolved call edge) or a stale
+``shared()``/lock annotation.  The chaos soak runs with the witness
+enabled in CI (``repro chaos --witness``), so the static model is
+re-validated against real interleavings on every PR.
+
+Everything here is opt-in and zero-cost when unused: production builds
+construct plain ``threading.Lock`` objects; only a witness-enabled run
+re-binds them through :meth:`LockWitness.wrap`.  Hold and wait times
+use ``time.perf_counter`` (real time) even under a virtual clock —
+they measure the instrumentation's own world, not the simulation's.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class TokenStats:
+    """Per-lock counters; times in real (perf_counter) seconds."""
+
+    acquisitions: int = 0
+    contentions: int = 0
+    wait_time_s: float = 0.0
+    hold_time_s: float = 0.0
+    max_hold_s: float = 0.0
+
+
+@dataclass
+class EdgeStats:
+    """One observed (held, acquired) ordering."""
+
+    count: int = 0
+    first_stack: tuple[str, ...] = ()
+    """The full held-token stack the first time the edge was seen."""
+
+
+class WitnessedLock:
+    """A ``threading.Lock`` that reports to a :class:`LockWitness`.
+
+    Drop-in for the ``with lock:`` / ``acquire``/``release`` protocol
+    and usable as the lock behind ``threading.Condition``: it provides
+    ``_is_owned`` so the Condition's wait/notify ownership checks do
+    not fall back to a try-acquire probe (which would count phantom
+    contentions), while the release/re-acquire pair inside
+    ``Condition.wait`` goes through the normal methods and is recorded
+    as a real release and a (possibly contended) re-acquisition.
+    """
+
+    def __init__(self, inner: threading.Lock, token: str,
+                 witness: "LockWitness") -> None:
+        self._inner = inner
+        self.token = token
+        self._witness = witness
+        # Owner ident and acquisition stamp are written only by the
+        # thread that holds the lock, between its acquire and release.
+        self._owner: int | None = None
+        self._acquired_at = 0.0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        started = time.perf_counter()
+        got = self._inner.acquire(False)
+        contended = not got
+        if not got:
+            if not blocking:
+                self._witness.note_failed_try(self.token)
+                return False
+            got = self._inner.acquire(True, timeout)
+            if not got:  # timed out
+                self._witness.note_failed_try(self.token)
+                return False
+        now = time.perf_counter()
+        self._owner = threading.get_ident()
+        self._acquired_at = now
+        self._witness.note_acquired(self.token, waited_s=now - started,
+                                    contended=contended)
+        return True
+
+    def release(self) -> None:
+        held_s = time.perf_counter() - self._acquired_at
+        self._owner = None
+        self._inner.release()
+        self._witness.note_released(self.token, held_s)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class LockWitness:
+    """Collects acquisition order, contention and hold-time evidence."""
+
+    def __init__(self) -> None:
+        self._statslock = threading.Lock()
+        # Both maps are keyed by wrapped-lock tokens: a handful of
+        # entries for the lifetime of the process, never per-request.
+        self._stats: dict[str, TokenStats] = \
+            {}  # staticcheck: shared(_statslock); bounded(one-entry-per-lock-token)
+        self._edges: dict[tuple[str, str], EdgeStats] = \
+            {}  # staticcheck: shared(_statslock); bounded(lock-token-pairs)
+        self._local = threading.local()
+
+    # -- wiring --------------------------------------------------------------
+
+    def wrap(self, lock: threading.Lock, token: str) -> WitnessedLock:
+        """Wrap ``lock`` so its use is recorded under ``token``.
+
+        Tokens should match the static model's naming —
+        ``<ClassQualname>.<attr>`` (e.g.
+        ``repro.engine.locks.LockManager._mutex``) — so observed edges
+        and static edges live in one namespace for the cross-check.
+        """
+        return WitnessedLock(lock, token, self)
+
+    # -- recording (called by WitnessedLock) ---------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def note_acquired(self, token: str, waited_s: float,
+                      contended: bool) -> None:
+        stack = self._stack()
+        with self._statslock:
+            stats = self._token_stats(token)
+            stats.acquisitions += 1
+            stats.wait_time_s += waited_s
+            if contended:
+                stats.contentions += 1
+            for held in stack:
+                if held == token:
+                    continue
+                edge = self._edges.get((held, token))
+                if edge is None:
+                    edge = self._edges[(held, token)] = EdgeStats(
+                        first_stack=(*stack, token))
+                edge.count += 1
+        stack.append(token)
+
+    def note_failed_try(self, token: str) -> None:
+        """A non-blocking (or timed-out) acquire that did not get in."""
+        with self._statslock:
+            self._token_stats(token).contentions += 1
+
+    def note_released(self, token: str, held_s: float) -> None:
+        stack = self._stack()
+        # Releases are almost always LIFO, but nothing guarantees it —
+        # drop the most recent occurrence wherever it sits.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == token:
+                del stack[index]
+                break
+        with self._statslock:
+            stats = self._token_stats(token)
+            stats.hold_time_s += held_s
+            if held_s > stats.max_hold_s:
+                stats.max_hold_s = held_s
+
+    # staticcheck: guarded-by(_statslock)
+    def _token_stats(self, token: str) -> TokenStats:
+        stats = self._stats.get(token)
+        if stats is None:
+            stats = self._stats[token] = TokenStats()
+        return stats
+
+    # -- reporting -----------------------------------------------------------
+
+    def observed_edges(self) -> frozenset[tuple[str, str]]:
+        with self._statslock:
+            return frozenset(self._edges)
+
+    def report(self) -> dict:
+        """JSON-ready snapshot of everything the witness saw."""
+        with self._statslock:
+            tokens = {
+                token: {
+                    "acquisitions": stats.acquisitions,
+                    "contentions": stats.contentions,
+                    "wait_time_s": round(stats.wait_time_s, 6),
+                    "hold_time_s": round(stats.hold_time_s, 6),
+                    "max_hold_s": round(stats.max_hold_s, 6),
+                }
+                for token, stats in sorted(self._stats.items())
+            }
+            edges = [
+                {
+                    "held": held,
+                    "acquired": acquired,
+                    "count": edge.count,
+                    "first_stack": list(edge.first_stack),
+                }
+                for (held, acquired), edge in sorted(self._edges.items())
+            ]
+        return {
+            "generated_by": "repro.core.lockwitness",
+            "tokens": tokens,
+            "order_edges": edges,
+        }
+
+
+# -- static/dynamic cross-check ----------------------------------------------
+
+
+@dataclass
+class CrossCheckResult:
+    """Observed runtime order versus the static LCK003 model."""
+
+    contradictions: list[str] = field(default_factory=list)
+    """Acquisition-order cycles in the merged (static ∪ observed)
+    graph that involve at least one observed edge.  Any entry is a
+    deadlock candidate the static phase alone cannot see."""
+
+    unmodeled: list[tuple[str, str]] = field(default_factory=list)
+    """Observed edges the static model does not predict.  Not failures
+    by themselves (the static walk may simply not resolve the call
+    chain), but each is a gap in LCK003's coverage worth closing."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.contradictions
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "contradictions": list(self.contradictions),
+            "unmodeled": [list(edge) for edge in self.unmodeled],
+        }
+
+
+def cross_check(observed: Iterable[tuple[str, str]],
+                static_edges: Iterable[tuple[str, str]],
+                ) -> CrossCheckResult:
+    """Merge observed and static order edges; report cycles that need
+    an observed edge to close (pure static cycles are LCK003's job and
+    already fail the lint)."""
+    observed_set = frozenset(observed)
+    static_set = frozenset(static_edges)
+    merged: dict[str, set[str]] = {}
+    for held, acquired in observed_set | static_set:
+        merged.setdefault(held, set()).add(acquired)
+
+    result = CrossCheckResult()
+    result.unmodeled = sorted(observed_set - static_set)
+    for cycle in _elementary_cycles(merged):
+        pairs = [(cycle[i], cycle[(i + 1) % len(cycle)])
+                 for i in range(len(cycle))]
+        if not any(pair in observed_set for pair in pairs):
+            continue
+        order = " -> ".join([*cycle, cycle[0]])
+        witnessed = ", ".join(
+            f"{held}->{acquired}" for held, acquired in pairs
+            if (held, acquired) in observed_set)
+        result.contradictions.append(
+            f"lock-order cycle {order} (observed at runtime: {witnessed})")
+    return result
+
+
+def _elementary_cycles(edges: dict[str, set[str]],
+                       ) -> list[tuple[str, ...]]:
+    """Each elementary cycle once, rotated to its smallest token.
+    Bounded DFS — witness graphs hold a handful of lock tokens."""
+    seen: set[tuple[str, ...]] = set()
+    cycles: list[tuple[str, ...]] = []
+
+    def visit(start: str, node: str, path: list[str]) -> None:
+        for successor in sorted(edges.get(node, ())):
+            if successor == start:
+                cycle = tuple(path)
+                smallest = min(range(len(cycle)), key=lambda i: cycle[i])
+                canonical = cycle[smallest:] + cycle[:smallest]
+                if canonical not in seen:
+                    seen.add(canonical)
+                    cycles.append(canonical)
+            elif successor not in path and len(path) < 8:
+                visit(start, successor, [*path, successor])
+
+    for start in sorted(edges):
+        visit(start, start, [start])
+    return cycles
+
+
+def static_order_edges(paths: Iterable[str] | None = None,
+                       ) -> frozenset[tuple[str, str]]:
+    """The static model's (held, acquired) edges, as LCK003 sees them.
+
+    Runs the staticcheck lock propagation over ``paths`` (default: the
+    installed ``repro`` package sources).  Imported lazily — the lint
+    machinery is a development dependency of the *witnessed* runs only.
+    """
+    import pathlib
+
+    from repro.staticcheck.callgraph import build_project
+    from repro.staticcheck.config import StaticcheckConfig
+    from repro.staticcheck.driver import ModuleContext, iter_python_files
+    from repro.staticcheck.lockflow import LockFlow
+
+    if paths is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        paths = [str(package_root)]
+    modules = []
+    for path in iter_python_files(list(paths)):
+        try:
+            modules.append(ModuleContext.from_source(
+                str(path), path.read_text(encoding="utf-8")))
+        except (OSError, SyntaxError):
+            continue
+    project = build_project(modules)
+    lockflow = LockFlow(project, StaticcheckConfig()).analyze()
+    return frozenset(
+        (edge.held, edge.acquired) for edge in lockflow.order_edges)

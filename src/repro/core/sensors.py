@@ -20,10 +20,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 
+_blake2b = hashlib.blake2b
+"""Bound once at import: :func:`statement_hash` runs per statement, so
+the hot path skips the module-attribute walk."""
+
+
 def statement_hash(text: str) -> int:
     """Stable 64-bit hash of a statement text (the monitor's key)."""
     return int.from_bytes(
-        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(),
+        _blake2b(text.encode("utf-8"), digest_size=8).digest(),
         "big",
         signed=True,  # fits the storage engine's signed 64-bit INT
     )
@@ -38,6 +43,11 @@ class StatementContext:
     started_monotonic: float = 0.0
     monitor_time_s: float = 0.0
     """Time spent inside monitoring code for this statement (figure 5)."""
+    wall_time: float = 0.0
+    """Wall-clock timestamp captured once per statement (at parse) and
+    reused by every later sensor — deferred timestamping: records for
+    one statement are written microseconds apart and share one clock
+    read instead of paying one syscall per record."""
     statement_kind: str = ""
     session_id: int = 0
     # Scratch fields filled by earlier sensors, consumed at execute_complete.

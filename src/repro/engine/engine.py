@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro import faultsim
 from repro.clock import Clock, SystemClock
@@ -25,17 +25,22 @@ from repro.engine.locks import LockManager
 from repro.engine.session import Session
 from repro.errors import DuplicateObjectError, UnknownObjectError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.lockwitness import LockWitness
+
 
 class EngineInstance:
     """A DBMS instance hosting databases and sessions."""
 
     def __init__(self, config: EngineConfig | None = None,
                  sensors: Sensors | None = None,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 lock_witness: "LockWitness | None" = None) -> None:
         self.config = config or EngineConfig()
         self.sensors = sensors or NullSensors()
         self.clock = clock or SystemClock()
-        self.lock_manager = LockManager(self.config.locks)
+        self.lock_manager = LockManager(self.config.locks,
+                                        witness=lock_witness)
         self._databases: dict[str, Database] = {}
         self._sessions: dict[int, Session] = {}
         self._session_ids = itertools.count(1)

@@ -23,8 +23,13 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.config import LockConfig
 from repro.errors import DeadlockError, LockError, LockTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.lockwitness import LockWitness
 
 
 class LockMode(enum.Enum):
@@ -55,9 +60,16 @@ class LockStatistics:
 class LockManager:
     """Grants S/X table locks to transactions; detects deadlocks."""
 
-    def __init__(self, config: LockConfig | None = None) -> None:
+    def __init__(self, config: LockConfig | None = None,
+                 witness: "LockWitness | None" = None) -> None:
         self.config = config or LockConfig()
         self._mutex = threading.Lock()
+        if witness is not None:
+            # Re-bound through the witness wrapper; the plain
+            # assignment above stays first so the static lock model
+            # keeps its type evidence for this attribute.
+            self._mutex = witness.wrap(
+                self._mutex, "repro.engine.locks.LockManager._mutex")
         self._granted = threading.Condition(self._mutex)
         # _granted wraps _mutex, so holding either guards the state.
         self._resources: dict[str, _Resource] = \
@@ -71,6 +83,7 @@ class LockManager:
 
     # -- public API --------------------------------------------------------
 
+    # staticcheck: hotpath
     def acquire(self, txn_id: int, resource: str, mode: LockMode,
                 timeout_s: float | None = None) -> None:
         """Block until the lock is granted.
@@ -83,13 +96,18 @@ class LockManager:
             else self.config.wait_timeout_s
         with self._granted:
             self._total_requests += 1
-            state = self._resources.setdefault(resource, _Resource())
+            state = self._resources.get(resource)
+            if state is None:
+                state = self._resources[resource] = \
+                    _Resource()  # staticcheck: allocfree(first-touch-per-resource-only)
             if self._try_grant(state, txn_id, mode):
-                self._held_by_txn.setdefault(txn_id, set()).add(resource)
+                self._note_held(txn_id, resource)
                 return
             self._total_waits += 1
             state.waiters.append((txn_id, mode))
             waited = 0.0
+            interval = self.config.deadlock_check_interval_s
+            granted_wait = self._granted.wait
             try:
                 while True:
                     if self._creates_deadlock(txn_id):
@@ -99,8 +117,7 @@ class LockManager:
                             f"{mode.value} lock on {resource!r}"
                         )
                     if self._try_grant(state, txn_id, mode):
-                        self._held_by_txn.setdefault(txn_id,
-                                                     set()).add(resource)
+                        self._note_held(txn_id, resource)
                         return
                     if waited >= deadline:
                         self._total_timeouts += 1
@@ -109,18 +126,21 @@ class LockManager:
                             f"{waited:.1f}s waiting for {mode.value} lock "
                             f"on {resource!r}"
                         )
-                    interval = self.config.deadlock_check_interval_s
-                    self._granted.wait(interval)
+                    granted_wait(interval)
                     waited += interval
             finally:
                 state.waiters.remove((txn_id, mode))
 
+    # staticcheck: hotpath
     def release_all(self, txn_id: int) -> int:
         """Release every lock held by ``txn_id``; returns how many."""
         with self._granted:
-            resources = self._held_by_txn.pop(txn_id, set())
+            resources = self._held_by_txn.pop(txn_id, None)
+            if not resources:
+                return 0
+            resource_map = self._resources
             for name in resources:
-                state = self._resources.get(name)
+                state = resource_map.get(name)
                 if state is not None:
                     state.holders.pop(txn_id, None)
                     if not state.holders and not state.waiters:
@@ -151,21 +171,35 @@ class LockManager:
 
     # -- internals -----------------------------------------------------------
 
+    # staticcheck: guarded-by(_granted)
+    def _note_held(self, txn_id: int, resource: str) -> None:
+        """Bookkeeping for a granted lock; caller holds ``_granted``."""
+        held = self._held_by_txn.get(txn_id)
+        if held is None:
+            held = self._held_by_txn[txn_id] = \
+                set()  # staticcheck: allocfree(first-lock-per-txn-only)
+        held.add(resource)
+
     def _try_grant(self, state: _Resource, txn_id: int,
                    mode: LockMode) -> bool:
         held = state.holders.get(txn_id)
         if held is LockMode.EXCLUSIVE or held is mode:
             return True  # re-entrant
-        others = {t: m for t, m in state.holders.items() if t != txn_id}
+        # Allocation-free compatibility scan (no `others` dict: this
+        # runs per acquire and per wakeup under _granted).
+        holders = state.holders
         if mode is LockMode.SHARED:
-            compatible = all(m is LockMode.SHARED for m in others.values())
+            for other, other_mode in holders.items():
+                if other != txn_id and other_mode is not LockMode.SHARED:
+                    return False
         else:
-            compatible = not others
-        if compatible:
-            state.holders[txn_id] = mode
-            return True
-        return False
+            for other in holders:
+                if other != txn_id:
+                    return False
+        state.holders[txn_id] = mode
+        return True
 
+    # staticcheck: coldpath(contended-wait-only)
     def _creates_deadlock(self, start_txn: int) -> bool:
         """Cycle check over the waits-for graph starting at ``start_txn``."""
         edges: dict[int, set[int]] = {}

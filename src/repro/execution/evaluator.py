@@ -79,7 +79,7 @@ def like_to_regex(pattern: str) -> re.Pattern[str]:
     return compiled
 
 
-_SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+_SCALAR_FUNCTIONS: dict[str, Callable[..., Any] | None] = {
     "upper": lambda s: s.upper(),
     "lower": lambda s: s.lower(),
     "length": len,

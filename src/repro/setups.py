@@ -14,6 +14,7 @@ from repro.clock import Clock
 from repro.config import DaemonConfig, EngineConfig
 from repro.core.daemon import StorageDaemon
 from repro.core.ima import register_ima_tables
+from repro.core.lockwitness import LockWitness
 from repro.core.monitor import IntegratedMonitor, MonitorSensors
 from repro.core.sensors import NullSensors
 from repro.core.workload_db import WorkloadDatabase
@@ -39,9 +40,10 @@ def original_setup(config: EngineConfig | None = None,
 
 
 def monitoring_setup(config: EngineConfig | None = None,
-                     clock: Clock | None = None) -> Setup:
+                     clock: Clock | None = None,
+                     lock_witness: LockWitness | None = None) -> Setup:
     """Monitoring code "compiled in": integrated sensors, no daemon."""
-    engine = EngineInstance(config, clock=clock)
+    engine = EngineInstance(config, clock=clock, lock_witness=lock_witness)
     monitor = IntegratedMonitor(engine.config.monitor, engine.clock)
     engine.sensors = MonitorSensors(monitor)
     return Setup(name="monitoring", engine=engine, monitor=monitor)
@@ -50,20 +52,25 @@ def monitoring_setup(config: EngineConfig | None = None,
 def daemon_setup(database_name: str,
                  config: EngineConfig | None = None,
                  clock: Clock | None = None,
-                 daemon_config: DaemonConfig | None = None) -> Setup:
+                 daemon_config: DaemonConfig | None = None,
+                 lock_witness: LockWitness | None = None) -> Setup:
     """Monitoring plus the storage daemon persisting to a workload DB.
 
     The engine and the named database are created, IMA virtual tables
     are registered in it, and a daemon is wired up (not started — call
-    ``setup.daemon.start()`` or drive ``poll_once`` manually)."""
-    setup = monitoring_setup(config, clock)
+    ``setup.daemon.start()`` or drive ``poll_once`` manually).  With a
+    ``lock_witness`` every engine/daemon lock is wrapped so the run
+    produces runtime lock-order evidence (see
+    :mod:`repro.core.lockwitness`)."""
+    setup = monitoring_setup(config, clock, lock_witness=lock_witness)
     engine = setup.engine
     database = engine.create_database(database_name)
     assert setup.monitor is not None
     register_ima_tables(database, setup.monitor)
     workload_db = WorkloadDatabase(engine.config, engine.clock)
     daemon = StorageDaemon(engine, database_name, workload_db,
-                           daemon_config or engine.config.daemon)
+                           daemon_config or engine.config.daemon,
+                           witness=lock_witness)
     setup.name = "daemon"
     setup.workload_db = workload_db
     setup.daemon = daemon

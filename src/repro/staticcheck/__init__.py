@@ -51,6 +51,28 @@ Deliberate exceptions are waived with
 ``# staticcheck: atomic(<witness>)`` where the witness names the
 evidence of atomicity.
 
+A *performance-discipline* phase (:mod:`repro.staticcheck.hotpath` +
+:mod:`repro.staticcheck.rules_perf`) seeds hot roots from
+``# staticcheck: hotpath`` annotations on sensor/execute/ring-buffer/
+daemon-flush entry points, propagates hotness through the call graph
+(``coldpath(<witness>)`` stops propagation into deliberate slow paths)
+and polices per-call cost inside every hot function:
+
+* **Per-call allocation** (``PRF001``) — dict/list/set displays,
+  comprehensions, lambdas, container/record constructions.
+* **Repeated lookups in hot loops** (``PRF002``) — attribute chains
+  re-walked per iteration; bind them to locals.
+* **Unguarded formatting** (``PRF003``) — f-string/str.format/logging
+  work with no level check and off any error path.
+* **Per-row clock reads** (``PRF004``) — wall-clock reads that should
+  be captured once per statement and reused.
+* **Work under an engine lock** (``PRF005``) — allocation/formatting
+  inside lockflow's held-lock regions of hot functions.
+
+Irreducible costs are waived with ``# staticcheck:
+allocfree(<witness>)``; PRF findings carry hotness provenance (the
+``hotpath`` root plus the call chain) in text and JSON (schema v4).
+
 Analysis is *incremental* and *budgeted*: ``--cache`` persists results
 under ``.staticcheck-cache/`` keyed by content hash, rule-set version
 and call-graph dependency fingerprint so a warm run re-analyzes
@@ -100,6 +122,7 @@ from repro.staticcheck import rules_locks  # noqa: F401
 from repro.staticcheck import rules_sensors  # noqa: F401
 from repro.staticcheck import rules_deep  # noqa: F401
 from repro.staticcheck import rules_atomic  # noqa: F401
+from repro.staticcheck import rules_perf  # noqa: F401
 
 __all__ = [
     "AnalysisCache",

@@ -24,6 +24,23 @@ Annotations are ordinary comments attached to the line they govern:
   lock (``atomic(rechecked-under-lock)``), or a single-thread
   ownership argument (``atomic(daemon-thread-only)``).  The witness is
   mandatory: a bare ``atomic()`` does not waive anything.
+* ``# staticcheck: hotpath`` — on (or directly above) a ``def`` line:
+  the function is a hot-path *root* (a sensor, an execute loop, a
+  ring-buffer operation, a daemon flush).  The hot-path analysis
+  propagates hotness from every root through the call graph, and the
+  PRF rules police per-call cost inside every hot function.
+* ``# staticcheck: coldpath(<witness>)`` — on (or directly above) a
+  ``def`` line: stop hot-path propagation into this function; the
+  witness names why it is off the per-call path
+  (``coldpath(statement-cache-miss-only)``,
+  ``coldpath(flush-failure-only)``).  The witness is mandatory: a bare
+  ``coldpath()`` does not stop propagation.
+* ``# staticcheck: allocfree(<witness>)`` — on (or directly above) a
+  line a PRF rule reports: the per-call cost is accounted for, and the
+  witness names the evidence — a bound on how often the line runs
+  (``allocfree(rate-limited-1-per-s)``), or the reason the allocation
+  is irreducible (``allocfree(record-is-the-product)``).  The witness
+  is mandatory: a bare ``allocfree()`` does not waive anything.
 * ``# staticcheck: ignore`` / ``# staticcheck: ignore[LCK001,CLK001]``
   — suppress all / the listed findings reported for this line.
 
@@ -43,7 +60,8 @@ _DIRECTIVE_RE = re.compile(
     r"^(?P<name>[a-z-]+)\s*(?:[\(\[]\s*(?P<args>[^)\]]*)\s*[\)\]])?$"
 )
 
-KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "atomic", "ignore")
+KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "atomic",
+                    "hotpath", "coldpath", "allocfree", "ignore")
 
 
 @dataclass(frozen=True)

@@ -30,13 +30,16 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.staticcheck.annotations import KNOWN_DIRECTIVES
 from repro.staticcheck.base import rule_ids
 from repro.staticcheck.config import StaticcheckConfig
 from repro.staticcheck.findings import Finding
 
-RULESET_VERSION = 3
+RULESET_VERSION = 4
 """Bumped whenever rule semantics change in a way that invalidates
 previously cached findings (new rule family, changed detection logic).
+Version 4: PRF001–PRF005 hot-path performance rules and the
+``hotpath``/``coldpath``/``allocfree`` annotation grammar.
 Version 3: ATM001/ATM002/PUB001 dataflow rules."""
 
 _CACHE_FILE = "cache.json"
@@ -48,8 +51,15 @@ def content_hash(source: str) -> str:
 
 
 def ruleset_fingerprint() -> str:
-    """Hash of the rule-set version plus every registered rule id."""
-    payload = f"{RULESET_VERSION}:{','.join(rule_ids())}"
+    """Hash of the rule-set version, every registered rule id and the
+    annotation grammar.  The directive list is part of the fingerprint
+    because adding a directive changes analysis behaviour for files
+    whose *content* did not change meaning under the old grammar — a
+    comment that used to be rejected (or ignored) may now seed hot-path
+    propagation, so every cached finding computed under the old grammar
+    is suspect."""
+    payload = (f"{RULESET_VERSION}:{','.join(rule_ids())}"
+               f":{','.join(KNOWN_DIRECTIVES)}")
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -236,6 +246,26 @@ class AnalysisCache:
         except OSError:
             return False
         return True
+
+
+def forward_dependencies(deps: Mapping[str, Sequence[str]],
+                         seeds: Sequence[str]) -> set[str]:
+    """All files any seed transitively depends on (seeds included).
+
+    The hot-path analysis propagates *forward* along call edges: adding
+    or removing a ``hotpath``/``coldpath`` annotation in a file changes
+    which of its (transitive) callees are hot, so ``--changed`` must
+    re-analyze those callees even though their own content is
+    untouched — the mirror image of :func:`reverse_dependents`."""
+    result: set[str] = set()
+    frontier = list(seeds)
+    while frontier:
+        current = frontier.pop()
+        if current in result:
+            continue
+        result.add(current)
+        frontier.extend(deps.get(current, ()))
+    return result
 
 
 def reverse_dependents(deps: Mapping[str, Sequence[str]],

@@ -51,11 +51,18 @@ def _run_tool(module: str, arguments: list[str]) -> int | None:
     return completed.returncode
 
 
+_HOTNESS_DIRECTIVES = ("hotpath", "coldpath", "allocfree")
+
+
 def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     """The ``--changed`` file set: files under ``paths`` changed since
     the branch point, plus every file whose analysis can observe them
-    (reverse call-graph dependents).  None means "no git" — the caller
-    falls back to a full run."""
+    (reverse call-graph dependents) — and, for changed files carrying
+    hot-path annotations, every file *they* transitively call, because
+    hotness flows caller → callee: editing only a ``hotpath`` or
+    ``allocfree`` comment re-hotness-classifies downstream files whose
+    content is untouched.  None means "no git" — the caller falls back
+    to a full run."""
     changed = git_changed_files()
     if changed is None:
         return None
@@ -66,19 +73,32 @@ def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     # Build the call graph over the full path set so dependents of the
     # changed files are re-analyzed too.
     from repro.staticcheck.annotations import AnnotationError
-    from repro.staticcheck.cache import reverse_dependents
+    from repro.staticcheck.cache import (
+        forward_dependencies,
+        reverse_dependents,
+    )
     from repro.staticcheck.callgraph import build_project
     from repro.staticcheck.driver import ModuleContext
 
     modules = []
+    hot_seeds: list[str] = []
     for path in all_files:
         try:
-            modules.append(ModuleContext.from_source(
-                path, Path(path).read_text(encoding="utf-8")))
+            source = Path(path).read_text(encoding="utf-8")
+            module = ModuleContext.from_source(path, source)
         except (OSError, SyntaxError, AnnotationError):
             continue
+        modules.append(module)
+        if path in in_scope and any(
+                directive.name in _HOTNESS_DIRECTIVES
+                for directives in module.annotations.values()
+                for directive in directives):
+            hot_seeds.append(path)
     deps = file_dependencies(build_project(modules))
-    return sorted(reverse_dependents(deps, in_scope) & set(all_files))
+    targets = reverse_dependents(deps, in_scope)
+    if hot_seeds:
+        targets |= forward_dependencies(deps, hot_seeds)
+    return sorted(targets & set(all_files))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -97,9 +117,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "never ruff/mypy")
     parser.add_argument("--deep", action="store_true",
                         help="also run the interprocedural phase "
-                             "(call graph, held-lock propagation and "
-                             "attribute dataflow: LCK003/LCK004/"
-                             "GRW001/SNS002/ATM001/ATM002/PUB001)")
+                             "(call graph, held-lock propagation, "
+                             "attribute dataflow and hot-path "
+                             "propagation: LCK003/LCK004/GRW001/"
+                             "SNS002/ATM001/ATM002/PUB001/"
+                             "PRF001-PRF005)")
     parser.add_argument("--cache", action="store_true",
                         help="reuse results for unchanged files from "
                              "the analysis cache (and refresh it)")

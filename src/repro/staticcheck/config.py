@@ -101,6 +101,46 @@ class StaticcheckConfig:
     cardinality; loops over them inside sensor record paths break the
     constant per-call sensor budget (SNS002)."""
 
+    hotpath_scope_paths: tuple[str, ...] = (
+        "*repro/core/sensors.py",
+        "*repro/core/monitor.py",
+        "*repro/core/ring_buffer.py",
+        "*repro/core/daemon.py",
+        "*repro/engine/locks.py",
+    )
+    """Modules where the PRF rules report findings — the sensor /
+    ring-buffer / daemon-flush / lock-manager hot path whose per-call
+    constant sets the figure-4 monitoring overhead.  Hot-path
+    *propagation* is unrestricted (a hot root may call anywhere); only
+    reporting is scoped, so adopting the rules module-by-module does
+    not require the whole tree to be clean at once."""
+
+    hotpath_wallclock_patterns: tuple[str, ...] = (
+        "time.time",
+        "clock.now",
+        "*.clock.now",
+        "*.Clock.now",
+        "*.SystemClock.now",
+        "*.VirtualClock.now",
+    )
+    """Resolved call targets that read the wall clock (PRF004, fnmatch
+    over fully qualified names).  Duration probes
+    (``time.perf_counter``) are deliberately absent: sensors time
+    themselves with the monotonic counter, and PRF004 only polices
+    per-row *timestamp* reads, which batch or defer."""
+
+    hotpath_guard_names: tuple[str, ...] = (
+        "debug",
+        "verbose",
+        "enabled",
+        "level",
+        "isEnabledFor",
+        "trace_enabled",
+    )
+    """Identifier fragments that mark an ``if`` test as a log-level /
+    debug guard: formatting work under such a guard is exempt from
+    PRF003 (the guard keeps it off the production hot path)."""
+
     rule_budget_default_s: float = 5.0
     """Per-rule wall-time ceiling in seconds enforced by ``--budget``;
     rules whose accumulated analysis time exceeds it fail the lint

@@ -83,6 +83,11 @@ class Finding:
     trace: tuple[TraceEntry, ...] = field(default=())
     """Interprocedural evidence chain (empty for per-module rules)."""
 
+    hot_root: str | None = None
+    """Hotness provenance (PRF rules, JSON schema v4): the qualname of
+    the ``hotpath`` root whose propagation made the reported line hot;
+    the ``trace`` holds the call chain from that root."""
+
     @property
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.column, self.rule_id)
@@ -101,7 +106,7 @@ class Finding:
         return f"{head}\n{steps}"
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -110,12 +115,16 @@ class Finding:
             "message": self.message,
             "trace": [entry.to_dict() for entry in self.trace],
         }
+        if self.hot_root is not None:
+            payload["hot_root"] = self.hot_root
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "Finding":
         raw_trace = data.get("trace", [])
         if not isinstance(raw_trace, list):
             raise ValueError("finding trace must be a list")
+        hot_root = data.get("hot_root")
         return cls(
             path=str(data["path"]),
             line=int(data["line"]),  # type: ignore[arg-type]
@@ -124,4 +133,5 @@ class Finding:
             severity=Severity(data["severity"]),
             message=str(data["message"]),
             trace=tuple(TraceEntry.from_dict(entry) for entry in raw_trace),
+            hot_root=str(hot_root) if hot_root is not None else None,
         )

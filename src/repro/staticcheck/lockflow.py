@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.staticcheck.dataflow import AttrFlow
+    from repro.staticcheck.hotpath import HotPathResult
 
 from repro.staticcheck.astutil import ancestors, dotted_segments, self_attribute
 from repro.staticcheck.callgraph import (
@@ -128,6 +129,11 @@ class DeepContext:
     """Lazily computed by the ATM/PUB rules via
     :func:`repro.staticcheck.dataflow.attr_flows_for` so the
     field-sensitive pass runs once per project, not once per rule."""
+
+    hotpaths: "HotPathResult | None" = None
+    """Lazily computed by the PRF rules via
+    :func:`repro.staticcheck.hotpath.hotpaths_for` — one propagation
+    per project, shared by all five performance rules."""
 
 
 def lock_attrs_of(project: ProjectContext,

@@ -8,15 +8,18 @@ from typing import Any
 
 from repro.staticcheck.findings import Finding
 
-JSON_VERSION = 3
-"""Version 3 adds the ``timings`` table (one row per rule: accumulated
-seconds, plus budget ceiling and over-budget flag when ``--budget`` is
-enforced) and the optional ``cache`` summary (shallow hits/analyzed,
-deep-from-cache).  Version 2 added the ``trace`` key (interprocedural
-evidence chain) to every finding; version-1 payloads (no trace) still
-parse."""
+JSON_VERSION = 4
+"""Version 4 adds the optional per-finding ``hot_root`` key: hotness
+provenance on PRF findings — the qualname of the ``hotpath`` root whose
+propagation made the reported line hot (the finding's ``trace`` is the
+call chain from that root).  Version 3 added the ``timings`` table (one
+row per rule: accumulated seconds, plus budget ceiling and over-budget
+flag when ``--budget`` is enforced) and the optional ``cache`` summary
+(shallow hits/analyzed, deep-from-cache).  Version 2 added the
+``trace`` key (interprocedural evidence chain) to every finding;
+version-1 payloads (no trace) still parse."""
 
-_ACCEPTED_VERSIONS = frozenset({1, 2, JSON_VERSION})
+_ACCEPTED_VERSIONS = frozenset({1, 2, 3, JSON_VERSION})
 
 
 def render_text(findings: list[Finding]) -> str:

@@ -1,0 +1,466 @@
+"""PRF — hot-path performance discipline.
+
+The figure-4 monitoring overhead is a per-statement *constant*: every
+object allocated, attribute chain re-walked, string formatted or clock
+read on the sensor path is paid once per statement, a million times in
+the 1m test.  These five interprocedural rules police that constant
+inside every function the hot-path propagation
+(:mod:`repro.staticcheck.hotpath`) reaches from a
+``# staticcheck: hotpath`` root:
+
+* **PRF001** — per-call allocation (dict/list/set displays,
+  comprehensions, lambdas, container constructors, project-class
+  constructions, slice copies).  Tuples, empty displays and generator
+  expressions are exempt (cheap or lazily evaluated).  Waivable with
+  ``allocfree(<witness>)`` when the allocation *is* the product
+  (``allocfree(workload-record-is-the-product)``).
+* **PRF002** — an attribute/global chain re-walked on every iteration
+  of a hot loop (``self.workload_db.append`` inside ``for row in
+  rows``); bind it to a local before the loop.
+* **PRF003** — f-string / ``str.format`` / ``%`` / logging work on the
+  hot path without a level or debug guard.  Error paths (``raise``,
+  ``except`` bodies) are exempt — they are off the per-call path.
+* **PRF004** — a wall-clock read per row instead of batched/deferred:
+  ``monitor.clock.now()`` inside a hot function.  Capturing once onto
+  the per-statement context (``ctx.wall_time = clock.now()``) is the
+  sanctioned deferral shape and is exempt.
+* **PRF005** — allocation or formatting performed *while holding an
+  engine lock* in a hot function (reuses lockflow's held-lock sets):
+  the cost is not just paid per call, it lengthens every contender's
+  critical section.
+
+All five attach hotness provenance: ``hot_root`` names the annotated
+root, the trace is the call chain that makes the line hot.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterable, Iterator
+
+from repro.staticcheck.astutil import ancestors, dotted_segments
+from repro.staticcheck.base import ProjectRule, register_deep
+from repro.staticcheck.callgraph import CallEdge, FunctionDecl
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.findings import Finding, Severity, TraceEntry
+from repro.staticcheck.hotpath import hotpaths_for
+from repro.staticcheck.lockflow import DeepContext
+
+_BUILTIN_CONTAINER_CTORS = frozenset({
+    "dict", "list", "set", "frozenset", "bytearray",
+})
+_EXTERNAL_CONTAINER_CTORS = frozenset({
+    "collections.OrderedDict", "collections.defaultdict",
+    "collections.deque", "collections.Counter",
+})
+_LOGGING_HEADS = frozenset({"logging", "logger", "log"})
+
+
+# -- shared walking helpers --------------------------------------------------
+
+
+def _own_nodes(decl: FunctionDecl) -> Iterator[ast.AST]:
+    """Nodes of the function body, excluding nested def/class/lambda
+    bodies — those execute on their own schedule (the lambda *object*
+    is still seen by the caller's walk, so PRF001 flags its creation).
+
+    Starts at the body, not the def node, so parameter annotations,
+    return annotations and defaults are never walked: annotations are
+    types (``Callable[[T], T]`` is not a per-call list allocation) and
+    defaults evaluate at definition time.
+    """
+    stack: list[ast.AST] = list(decl.node.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.AnnAssign):
+            stack.append(node.target)
+            if node.value is not None:
+                stack.append(node.value)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _waived(decl: FunctionDecl, line: int) -> bool:
+    """A witnessed ``allocfree`` on the line or the line above it.  A
+    bare ``allocfree()`` waives nothing — the witness is the review
+    artifact."""
+    for candidate in (line, line - 1):
+        for directive in decl.module.directives(candidate, "allocfree"):
+            if directive.args:
+                return True
+    return False
+
+
+def _on_error_path(node: ast.AST, decl: FunctionDecl) -> bool:
+    """Inside a ``raise`` or an ``except`` body: error paths run at
+    failure frequency, not statement frequency."""
+    if isinstance(node, ast.Raise):
+        return True
+    for ancestor in ancestors(node, decl.module.parents):
+        if isinstance(ancestor, (ast.Raise, ast.ExceptHandler)):
+            return True
+        if ancestor is decl.node:
+            break
+    return False
+
+
+def _held_tokens(deep: DeepContext, decl: FunctionDecl,
+                 node: ast.AST) -> frozenset[str]:
+    """Lock tokens held at ``node``: the function's guaranteed entry
+    locks plus any lexical ``with self._lock:`` region containing it."""
+    held = set(deep.lockflow.entry_locks.get(decl.qualname, frozenset()))
+    parents = decl.module.parents
+    for region in deep.lockflow.regions.get(decl.qualname, ()):
+        if region.node is node or any(
+                ancestor is region.node
+                for ancestor in ancestors(node, parents)):
+            held.add(region.site.token)
+    return frozenset(held)
+
+
+def _edges_by_node(deep: DeepContext,
+                   qualname: str) -> dict[int, CallEdge]:
+    return {id(edge.node): edge
+            for edge in deep.project.calls_from(qualname)}
+
+
+def _allocation(node: ast.AST, deep: DeepContext, decl: FunctionDecl,
+                edges: dict[int, CallEdge]) -> str | None:
+    """Describe the per-call allocation ``node`` performs, if any."""
+    if isinstance(node, ast.Dict) and node.keys:
+        return "dict display"
+    if isinstance(node, ast.List) and node.elts:
+        return "list display"
+    if isinstance(node, ast.Set):
+        return "set display"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.Lambda):
+        return "lambda (one closure object per call)"
+    if (isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Slice)
+            and isinstance(node.ctx, ast.Load)):
+        return "sequence copy via slice"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in _BUILTIN_CONTAINER_CTORS:
+            return f"{node.func.id}() construction"
+        edge = edges.get(id(node))
+        if edge is None:
+            return None
+        if edge.external:
+            if edge.callee in _EXTERNAL_CONTAINER_CTORS:
+                return f"{edge.callee}() construction"
+            return None
+        callee = edge.callee
+        if callee.endswith(".__init__"):
+            return f"constructs {callee.rsplit('.', 2)[-2]}"
+        if callee in deep.project.classes:
+            return f"constructs {callee.rsplit('.', 1)[-1]}"
+    return None
+
+
+def _formatting(node: ast.AST) -> str | None:
+    """Describe the string-building work ``node`` performs, if any."""
+    if isinstance(node, ast.JoinedStr):
+        if any(isinstance(part, ast.FormattedValue)
+               for part in node.values):
+            return "f-string formatting"
+        return None
+    if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, (ast.Constant, ast.JoinedStr))
+            and isinstance(getattr(node.left, "value", ""), str)):
+        return "%-formatting"
+    if isinstance(node, ast.Call):
+        segments = dotted_segments(node.func)
+        if segments is None:
+            return None
+        if segments[-1] == "format" and len(segments) >= 2:
+            return "str.format() call"
+        if segments[0] in _LOGGING_HEADS or "logger" in segments[:-1]:
+            return f"logging call {'.'.join(segments)}()"
+    return None
+
+
+def _guarded_by_level_check(node: ast.AST, decl: FunctionDecl,
+                            config: StaticcheckConfig) -> bool:
+    """An enclosing ``if`` whose test mentions a debug/level/enabled
+    name keeps the formatting off the production hot path."""
+    fragments = tuple(f.lower() for f in config.hotpath_guard_names)
+    for ancestor in ancestors(node, decl.module.parents):
+        if ancestor is decl.node:
+            break
+        if not isinstance(ancestor, ast.If):
+            continue
+        for probe in ast.walk(ancestor.test):
+            name: str | None = None
+            if isinstance(probe, ast.Name):
+                name = probe.id
+            elif isinstance(probe, ast.Attribute):
+                name = probe.attr
+            if name is not None and any(
+                    fragment in name.lower() for fragment in fragments):
+                return True
+    return False
+
+
+class _PerfRule(ProjectRule):
+    """Shared scoping: iterate hot functions inside the PRF scope."""
+
+    default_severity = Severity.ERROR
+
+    def _hot_functions(self, deep: DeepContext, config: StaticcheckConfig,
+                       ) -> Iterator[tuple[FunctionDecl,
+                                           tuple[TraceEntry, ...]]]:
+        hot = hotpaths_for(deep)
+        for qualname in sorted(hot.hot):
+            decl = deep.project.functions[qualname]
+            if decl.name == "__init__":
+                continue  # construction cost is flagged at the call site
+            if config.path_matches(decl.module.path,
+                                   config.hotpath_scope_paths):
+                yield decl, hot.hot[qualname]
+
+    def _finding(self, decl: FunctionDecl, node: ast.AST,
+                 message: str,
+                 provenance: tuple[TraceEntry, ...]) -> Finding:
+        return Finding(
+            path=decl.module.path,
+            line=getattr(node, "lineno", decl.node.lineno),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.default_severity,
+            message=message,
+            trace=provenance,
+            hot_root=provenance[0].function if provenance else None,
+        )
+
+
+@register_deep
+class HotPathAllocationRule(_PerfRule):
+    """PRF001 — per-call allocation on the hot path."""
+
+    rule_id = "PRF001"
+    summary = ("no per-call object/dict/list allocation in a hot path; "
+               "reuse, hoist, or waive with allocfree(<witness>)")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for decl, provenance in self._hot_functions(deep, config):
+            edges = _edges_by_node(deep, decl.qualname)
+            for node in _own_nodes(decl):
+                described = _allocation(node, deep, decl, edges)
+                if described is None:
+                    continue
+                if _held_tokens(deep, decl, node):
+                    continue  # PRF005 owns allocations under a lock
+                line = getattr(node, "lineno", decl.node.lineno)
+                if _waived(decl, line) or _on_error_path(node, decl):
+                    continue
+                yield self._finding(
+                    decl, node,
+                    f"per-call {described} in hot function "
+                    f"{decl.qualname}; hoist it, reuse a scratch "
+                    f"object, or waive with allocfree(<witness>)",
+                    provenance)
+
+
+@register_deep
+class HotLoopLookupRule(_PerfRule):
+    """PRF002 — repeated attribute/global lookups in hot loops."""
+
+    rule_id = "PRF002"
+    summary = ("no repeated attribute-chain lookups inside hot loops; "
+               "bind the chain to a local before the loop")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for decl, provenance in self._hot_functions(deep, config):
+            reported: set[tuple[str, int]] = set()
+            for node in _own_nodes(decl):
+                if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    continue
+                yield from self._check_loop(decl, node, provenance,
+                                            reported)
+
+    def _check_loop(self, decl: FunctionDecl, loop: ast.AST,
+                    provenance: tuple[TraceEntry, ...],
+                    reported: set[tuple[str, int]],
+                    ) -> Iterator[Finding]:
+        rebound = self._rebound_names(loop)
+        occurrences: dict[str, list[ast.Attribute]] = {}
+        parents = decl.module.parents
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                continue  # not the maximal chain
+            segments = dotted_segments(node)
+            if segments is None or len(segments) < 2:
+                continue
+            if segments[0] in rebound:
+                continue  # base changes every iteration; nothing to hoist
+            if _on_error_path(node, decl):
+                continue  # raise-message lookups run at failure frequency
+            occurrences.setdefault(".".join(segments), []).append(node)
+        for chain, nodes in occurrences.items():
+            depth = chain.count(".") + 1
+            if depth < 3 and len(nodes) < 2:
+                continue
+            first = min(nodes, key=lambda n: (n.lineno, n.col_offset))
+            key = (chain, first.lineno)
+            if key in reported:
+                continue
+            reported.add(key)
+            if _waived(decl, first.lineno):
+                continue
+            times = (f"{len(nodes)} times per iteration"
+                     if len(nodes) > 1 else "every iteration")
+            yield self._finding(
+                decl, first,
+                f"hot loop re-walks {chain} {times}; bind it to a "
+                f"local before the loop",
+                provenance)
+
+    @staticmethod
+    def _rebound_names(loop: ast.AST) -> set[str]:
+        """Names assigned inside the loop (including its targets)."""
+        rebound: set[str] = set()
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                rebound.add(node.id)
+        return rebound
+
+
+@register_deep
+class HotPathFormattingRule(_PerfRule):
+    """PRF003 — unguarded string-building work on the hot path."""
+
+    rule_id = "PRF003"
+    summary = ("no f-string/logging/str-format work in hot paths "
+               "unless guarded by a level check or on an error path")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for decl, provenance in self._hot_functions(deep, config):
+            for node in _own_nodes(decl):
+                described = _formatting(node)
+                if described is None:
+                    continue
+                if _held_tokens(deep, decl, node):
+                    continue  # PRF005 owns formatting under a lock
+                line = getattr(node, "lineno", decl.node.lineno)
+                if _waived(decl, line) or _on_error_path(node, decl):
+                    continue
+                if _guarded_by_level_check(node, decl, config):
+                    continue
+                yield self._finding(
+                    decl, node,
+                    f"{described} in hot function {decl.qualname} "
+                    f"without a level/debug guard; precompute it, "
+                    f"guard it, or waive with allocfree(<witness>)",
+                    provenance)
+
+
+@register_deep
+class HotPathClockReadRule(_PerfRule):
+    """PRF004 — per-row wall-clock reads instead of batched/deferred."""
+
+    rule_id = "PRF004"
+    summary = ("no per-row wall-clock reads in hot paths; capture the "
+               "timestamp once per statement and reuse it")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for decl, provenance in self._hot_functions(deep, config):
+            for node in _own_nodes(decl):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = self._wallclock_chain(node, config)
+                if chain is None:
+                    continue
+                if _waived(decl, node.lineno) or \
+                        _on_error_path(node, decl):
+                    continue
+                if self._captured_to_context(node, decl):
+                    continue
+                yield self._finding(
+                    decl, node,
+                    f"wall-clock read {chain}() on the hot path in "
+                    f"{decl.qualname}; capture the timestamp once on "
+                    f"the statement context and reuse it (deferred "
+                    f"timestamping), or waive with allocfree(<witness>)",
+                    provenance)
+
+    @staticmethod
+    def _wallclock_chain(node: ast.Call,
+                         config: StaticcheckConfig) -> str | None:
+        segments = dotted_segments(node.func)
+        if segments is None:
+            return None
+        chain = ".".join(segments)
+        for pattern in config.hotpath_wallclock_patterns:
+            if fnmatch(chain, pattern):
+                return chain
+        return None
+
+    @staticmethod
+    def _captured_to_context(node: ast.Call,
+                             decl: FunctionDecl) -> bool:
+        """``ctx.wall_time = clock.now()`` — the sanctioned deferral:
+        one read, stored on the per-statement context for everyone
+        downstream to reuse."""
+        parent = decl.module.parents.get(node)
+        if not isinstance(parent, ast.Assign) or parent.value is not node:
+            return False
+        return all(
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            for target in parent.targets
+        )
+
+
+@register_deep
+class HotLockWorkRule(_PerfRule):
+    """PRF005 — allocation/formatting inside a held engine lock."""
+
+    rule_id = "PRF005"
+    summary = ("no allocation or formatting work while holding an "
+               "engine lock in a hot path; shrink the critical section")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for decl, provenance in self._hot_functions(deep, config):
+            edges = _edges_by_node(deep, decl.qualname)
+            for node in _own_nodes(decl):
+                described = (_allocation(node, deep, decl, edges)
+                             or _formatting(node))
+                if described is None:
+                    continue
+                held = _held_tokens(deep, decl, node)
+                if not held:
+                    continue
+                line = getattr(node, "lineno", decl.node.lineno)
+                if _waived(decl, line) or _on_error_path(node, decl):
+                    continue
+                tokens = ", ".join(sorted(held))
+                yield self._finding(
+                    decl, node,
+                    f"{described} while holding {tokens} in hot "
+                    f"function {decl.qualname}; move it outside the "
+                    f"critical section or waive with "
+                    f"allocfree(<witness>)",
+                    provenance)

@@ -1,0 +1,39 @@
+"""The ``perf_violation`` structures with the hot path disciplined:
+hoisted bindings, a guarded f-string, a witnessed clock read, a tuple
+instead of a list under the lock, and a witnessed ``coldpath`` stopping
+propagation into the rebuild slow path.  Must produce zero findings.
+"""
+
+import threading
+import time
+
+
+class Monitor:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.rows = []
+        self.scratch = {"value": None}
+        self.held = ()
+        self.debug_enabled = False
+
+    # staticcheck: hotpath
+    def record(self, value):
+        payload = self.scratch  # reused scratch object, no allocation
+        payload["value"] = value
+        self.append(payload)
+        self.rebuild()
+
+    def append(self, payload):  # hot by propagation from record()
+        if self.debug_enabled:
+            print(f"payload {payload}")  # guarded: off the hot path
+        stamp = time.time()  # staticcheck: allocfree(one-read-per-batch)
+        append_row = self.rows.append  # chain bound once, outside loop
+        for row in payload:
+            append_row(row)
+        with self.lock:
+            self.held = (payload, stamp)  # tuples are exempt
+
+    # staticcheck: coldpath(explicit-rebuild-only)
+    def rebuild(self):
+        # Never flagged: the witnessed coldpath stops hot propagation.
+        self.rows = [object() for _ in range(3)]

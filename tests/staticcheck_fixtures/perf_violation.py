@@ -1,0 +1,29 @@
+"""Deliberate PRF hot-path violations, one per rule (deep-phase tests).
+
+Line numbers are pinned by ``tests/test_staticcheck_perf.py``; keep the
+layout stable when editing.
+"""
+
+import threading
+import time
+
+
+class Monitor:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.rows = []
+        self.held = ()
+
+    # staticcheck: hotpath
+    def record(self, value):
+        payload = {"value": value}  # PRF001: dict display per call
+        self.append(payload)
+
+    def append(self, payload):  # hot by propagation from record()
+        text = f"payload {payload}"  # PRF003: unguarded f-string
+        stamp = 0.0
+        for row in payload:
+            self.rows.deep.append(row)  # PRF002: chain re-walked per row
+            stamp = time.time()  # PRF004: wall-clock read per row
+        with self.lock:
+            self.held = [text, stamp]  # PRF005: allocation under lock

@@ -1,0 +1,83 @@
+"""Tests for the standing benchmark gate: regression math and the
+shape of the chunk-interleaved measurement (a tiny real run)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    Path(__file__).parent.parent / "benchmarks" / "bench_gate.py")
+bench_gate = importlib.util.module_from_spec(_SPEC)
+assert _SPEC.loader is not None
+_SPEC.loader.exec_module(bench_gate)
+
+
+class TestRegressionCheck:
+    def test_within_tolerance_passes(self):
+        assert bench_gate.check_regression(
+            {"overhead_pct": 12.0}, {"overhead_pct": 11.0}) is None
+
+    def test_floor_absorbs_jitter_on_small_overheads(self):
+        # 1% -> 4% is a 4x ratio but within the absolute floor.
+        assert bench_gate.check_regression(
+            {"overhead_pct": 4.0}, {"overhead_pct": 1.0}) is None
+
+    def test_regression_past_limit_fails(self):
+        message = bench_gate.check_regression(
+            {"overhead_pct": 30.0}, {"overhead_pct": 11.0})
+        assert message is not None
+        assert "regressed" in message
+        assert "30.00%" in message and "11.00%" in message
+
+    def test_limit_is_relative_plus_floor(self):
+        previous = {"overhead_pct": 10.0}
+        limit = 10.0 * (1 + bench_gate.REGRESSION_TOLERANCE) \
+            + bench_gate.REGRESSION_FLOOR_PCT
+        assert bench_gate.check_regression(
+            {"overhead_pct": limit - 0.01}, previous) is None
+        assert bench_gate.check_regression(
+            {"overhead_pct": limit + 0.01}, previous) is not None
+
+    def test_no_previous_number_means_no_gate(self):
+        assert bench_gate.check_regression(
+            {"overhead_pct": 99.0}, {}) is None
+
+
+class TestGateRun:
+    def test_tiny_run_produces_the_committed_schema(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = bench_gate.main([
+            "--proteins", "20", "--statements", "64", "--repeats", "2",
+            "--output", str(output), "--no-check",
+        ])
+        assert code == 0
+        result = json.loads(output.read_text())
+        assert result["bench"] == "fig4_trivial_flood"
+        assert result["original"]["statements"] == 64
+        assert result["monitoring"]["sensor_calls"] > 0
+        # The overhead is the median of per-round paired ratios.
+        rounds = result["overhead_rounds_pct"]
+        assert len(rounds) == 2
+        assert result["overhead_pct"] == pytest.approx(
+            sorted(rounds)[0] + (sorted(rounds)[1] - sorted(rounds)[0]) / 2,
+            abs=0.01)
+
+    def test_second_run_embeds_previous_and_gates(self, tmp_path):
+        output = tmp_path / "bench.json"
+        assert bench_gate.main([
+            "--proteins", "20", "--statements", "64", "--repeats", "1",
+            "--output", str(output), "--no-check",
+        ]) == 0
+        first = json.loads(output.read_text())
+        assert bench_gate.main([
+            "--proteins", "20", "--statements", "64", "--repeats", "1",
+            "--output", str(output), "--no-check",
+        ]) == 0
+        second = json.loads(output.read_text())
+        assert second["previous"]["overhead_pct"] == first["overhead_pct"]
