@@ -6,7 +6,10 @@ sensor constant dominates), writes the numbers to ``BENCH_fig4.json``
 at the repo root, and fails only when the monitoring overhead regressed
 by more than :data:`REGRESSION_TOLERANCE` relative to the committed
 previous file — so the perf trajectory of the hot path is a reviewed,
-versioned artifact instead of a folklore number in a doc.
+versioned artifact instead of a folklore number in a doc.  Each run
+also appends a one-line summary to the file's ``history`` array
+(capped at :data:`HISTORY_LIMIT`), so the last N landed baselines are
+visible in one diff.
 
 Usage::
 
@@ -51,6 +54,11 @@ RESULT_PATH = REPO_ROOT / "BENCH_fig4.json"
 #: absolute floor absorbs timer jitter when overheads are small.
 REGRESSION_TOLERANCE = 0.15
 REGRESSION_FLOOR_PCT = 3.0
+
+#: Runs kept in the committed ``history`` array.  Each gate run appends
+#: a one-line summary of itself, so the JSON diff shows the overhead
+#: trajectory over the last N landed PRs, not just the previous one.
+HISTORY_LIMIT = 20
 
 #: CI-scale knobs (the full fig4 suite runs the larger cells; the gate
 #: only needs the trivial flood where sensor cost is the signal).
@@ -188,6 +196,23 @@ def run_gate(proteins: int, statement_count: int, repeats: int) -> dict:
     }
 
 
+def history_entry(result: dict) -> dict:
+    """One-line summary of a gate run for the ``history`` array."""
+    monitoring = result.get("monitoring", {})
+    return {
+        "overhead_pct": result.get("overhead_pct"),
+        "monitoring_seconds": monitoring.get("seconds"),
+        "sensor_avg_us": monitoring.get("sensor_avg_us"),
+    }
+
+
+def append_history(result: dict, previous: dict | None) -> None:
+    """Carry the previous file's ``history`` forward, append this run,
+    and cap the array at :data:`HISTORY_LIMIT` entries (oldest out)."""
+    carried = list(previous.get("history", [])) if previous else []
+    result["history"] = (carried + [history_entry(result)])[-HISTORY_LIMIT:]
+
+
 def check_regression(result: dict, previous: dict) -> str | None:
     """Return a failure message if ``result`` regressed past tolerance."""
     prev_pct = previous.get("overhead_pct")
@@ -218,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         previous = json.loads(args.output.read_text())
 
     result = run_gate(args.proteins, args.statements, args.repeats)
+    append_history(result, previous)
     if previous is not None:
         result["previous"] = {
             "overhead_pct": previous.get("overhead_pct"),

@@ -1,0 +1,285 @@
+"""Runtime access witness: the dynamic half of the ownership model.
+
+The deep staticcheck phase (OWN001–OWN003) classifies every monitored
+class field as ``exclusive(role)``, ``guarded(lock)``, ``handoff`` or
+``shared-unsynchronized`` from thread-start sites and call-graph role
+propagation.  That model is only as good as the call-graph resolution
+behind it, so this module provides the measuring counterpart — the same
+static↔runtime corroboration pattern :mod:`repro.core.lockwitness`
+applies to lock order:
+
+* :meth:`AccessWitness.instrument` swaps an object's class for a
+  recording subclass whose ``__getattribute__``/``__setattr__`` count
+  per-thread reads and writes of the tracked fields, keyed by the
+  static model's ``<ClassQualname>.<attr>`` tokens;
+* :func:`cross_check_access` then compares observations with the
+  inferred map: a statically-*exclusive* field observed from a second
+  thread (or a witnessed write to a *handoff* field, which the model
+  says cannot happen after construction) is a **contradiction** — a
+  hole in role propagation or a real race; a statically-*shared* field
+  observed single-threaded is a **downgrade candidate** — informational
+  evidence that its guard (and ``shared()`` annotation) may be
+  overcautious.
+
+The chaos soak runs with the witness enabled in CI (``repro chaos
+--witness``), driving the daemon's poll path from a thread carrying the
+daemon's role, so the ownership map is re-validated against real
+interleavings on every PR.
+
+Everything is opt-in and zero-cost when unused: only witness-enabled
+runs re-bind ``__class__``; production objects are untouched.  Thread
+identity uses ``threading.current_thread().name`` — the same ``name=``
+constants the static phase derives roles from — with ``MainThread``
+normalized to the implicit ``main`` role.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+MAIN_THREAD_NAME = "MainThread"
+MAIN_ROLE = "main"
+
+#: Static classifications whose fields several roles legitimately touch.
+_SHARED_CLASSIFICATIONS = frozenset({"guarded", "shared-unsynchronized",
+                                     "synchronized"})
+
+
+def normalize_role(thread_name: str) -> str:
+    """Map a runtime thread name onto the static model's role names."""
+    if thread_name == MAIN_THREAD_NAME:
+        return MAIN_ROLE
+    return thread_name
+
+
+@dataclass
+class AccessCounts:
+    """Per-(token, thread) read/write counters."""
+
+    reads: int = 0
+    writes: int = 0
+
+
+class AccessWitness:
+    """Records which threads touch which instrumented fields.
+
+    ``sample_every`` thins *read* recording (every Nth read per token
+    is counted); writes are always recorded — they are rarer and carry
+    the racy half of every contradiction.
+    """
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self._lock = threading.Lock()
+        # One entry per (instrumented field, thread): a handful for the
+        # lifetime of the process, never per-access.
+        self._observed: dict[str, dict[str, AccessCounts]] = \
+            {}  # staticcheck: shared(_lock); bounded(one-entry-per-field-thread-pair)
+        self._read_ticks: dict[str, int] = \
+            {}  # staticcheck: shared(_lock); bounded(one-entry-per-field-token)
+
+    # -- wiring --------------------------------------------------------------
+
+    def instrument(self, obj: Any, fields: Iterable[str],
+                   token_prefix: str | None = None) -> Any:
+        """Swap ``obj``'s class for a recording subclass and return it.
+
+        ``fields`` are attribute names to track; tokens are
+        ``<token_prefix>.<attr>`` with the prefix defaulting to the
+        object's ``<module>.<qualname>`` — the static map's namespace.
+        Re-instrumenting an already-witnessed object is a no-op.
+        """
+        cls = type(obj)
+        if getattr(cls, "_access_witnessed", False):
+            return obj
+        prefix = token_prefix or f"{cls.__module__}.{cls.__qualname__}"
+        tracked = {name: f"{prefix}.{name}" for name in fields}
+        if not tracked:
+            return obj
+        witness = self
+
+        def __getattribute__(inner: Any, name: str) -> Any:
+            token = tracked.get(name)
+            if token is not None:
+                witness._note_read(token)
+            return cls.__getattribute__(inner, name)
+
+        def __setattr__(inner: Any, name: str, value: Any) -> None:
+            token = tracked.get(name)
+            if token is not None:
+                witness._note_write(token)
+            cls.__setattr__(inner, name, value)
+
+        witnessed = type(f"_Witnessed{cls.__name__}", (cls,), {
+            "__getattribute__": __getattribute__,
+            "__setattr__": __setattr__,
+            "_access_witnessed": True,
+        })
+        object.__setattr__(obj, "__class__", witnessed)
+        return obj
+
+    def instrument_mapped(self, obj: Any,
+                          ownership_map: Mapping[str, Any]) -> bool:
+        """Instrument every field the static ownership map knows for
+        ``obj``'s class; False when the class is not in the map."""
+        cls = type(obj)
+        if getattr(cls, "_access_witnessed", False):
+            return True
+        qualname = f"{cls.__module__}.{cls.__qualname__}"
+        entry = ownership_map.get("classes", {}).get(qualname)
+        if entry is None:
+            return False
+        self.instrument(obj, sorted(entry.get("fields", {})),
+                        token_prefix=qualname)
+        return True
+
+    # -- recording (called from the witnessed subclasses) --------------------
+
+    def _note_read(self, token: str) -> None:
+        with self._lock:
+            tick = self._read_ticks.get(token, 0) + 1
+            self._read_ticks[token] = tick
+            if tick % self.sample_every:
+                return
+            self._counts(token).reads += 1
+
+    def _note_write(self, token: str) -> None:
+        with self._lock:
+            self._counts(token).writes += 1
+
+    # staticcheck: guarded-by(_lock)
+    def _counts(self, token: str) -> AccessCounts:
+        by_thread = self._observed.get(token)
+        if by_thread is None:
+            by_thread = self._observed[token] = {}
+        name = threading.current_thread().name
+        counts = by_thread.get(name)
+        if counts is None:
+            counts = by_thread[name] = AccessCounts()
+        return counts
+
+    # -- reporting -----------------------------------------------------------
+
+    def observed(self) -> dict[str, dict[str, AccessCounts]]:
+        """Snapshot: token -> thread name -> counts."""
+        with self._lock:
+            return {
+                token: {name: AccessCounts(c.reads, c.writes)
+                        for name, c in by_thread.items()}
+                for token, by_thread in self._observed.items()
+            }
+
+    def report(self) -> dict:
+        """JSON-ready snapshot of everything the witness saw."""
+        with self._lock:
+            tokens = {
+                token: {
+                    name: {"reads": c.reads, "writes": c.writes}
+                    for name, c in sorted(by_thread.items())
+                }
+                for token, by_thread in sorted(self._observed.items())
+            }
+        return {
+            "generated_by": "repro.core.accesswitness",
+            "sample_every": self.sample_every,
+            "tokens": tokens,
+        }
+
+
+# -- static/dynamic cross-check ----------------------------------------------
+
+
+@dataclass
+class AccessCheckResult:
+    """Observed runtime access versus the static ownership map."""
+
+    contradictions: list[str] = field(default_factory=list)
+    """Statically-exclusive fields observed from a foreign thread, or
+    witnessed writes to handoff fields.  Any entry is a hole in role
+    propagation or a real race the static phase cannot see."""
+
+    downgrade_candidates: list[str] = field(default_factory=list)
+    """Statically-shared fields every observation of which came from a
+    single thread.  Not failures — the soak may simply not have driven
+    the second role — but each is a guard (and ``shared()``
+    annotation) worth re-examining."""
+
+    unmapped: list[str] = field(default_factory=list)
+    """Observed tokens the static map does not know (an instrumented
+    field the analyzer never saw assigned)."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.contradictions
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "contradictions": list(self.contradictions),
+            "downgrade_candidates": list(self.downgrade_candidates),
+            "unmapped": list(self.unmapped),
+        }
+
+
+def cross_check_access(observed: Mapping[str, Mapping[str, AccessCounts]],
+                       ownership_map: Mapping[str, Any],
+                       ) -> AccessCheckResult:
+    """Compare witness observations with the inferred ownership map.
+
+    ``observed`` is :meth:`AccessWitness.observed`; ``ownership_map``
+    is :meth:`~repro.staticcheck.ownership.OwnershipResult.to_json`
+    (or the ``ownership`` key of a schema-v5 lint report).
+    """
+    index: dict[str, dict] = {}
+    for qualname, entry in ownership_map.get("classes", {}).items():
+        for attr, info in entry.get("fields", {}).items():
+            index[f"{qualname}.{attr}"] = info
+
+    result = AccessCheckResult()
+    for token in sorted(observed):
+        by_thread = observed[token]
+        info = index.get(token)
+        if info is None:
+            result.unmapped.append(token)
+            continue
+        observed_roles = {normalize_role(name) for name in by_thread}
+        classification = info.get("classification")
+        static_roles = set(info.get("roles", ()))
+        if classification == "exclusive":
+            foreign = sorted(observed_roles - static_roles)
+            if foreign:
+                result.contradictions.append(
+                    f"{token} is statically exclusive to "
+                    f"[{', '.join(sorted(static_roles))}] but was "
+                    f"observed from [{', '.join(foreign)}]")
+        elif classification == "handoff":
+            writers = sorted(
+                normalize_role(name) for name, counts in by_thread.items()
+                if counts.writes)
+            if writers:
+                result.contradictions.append(
+                    f"{token} is statically handoff (no writes after "
+                    f"construction) but [{', '.join(writers)}] wrote it")
+        if (classification in _SHARED_CLASSIFICATIONS
+                and len(static_roles) > 1 and len(observed_roles) == 1):
+            result.downgrade_candidates.append(
+                f"{token} is statically {classification} across "
+                f"[{', '.join(sorted(static_roles))}] but every observed "
+                f"access came from {next(iter(observed_roles))!r}")
+    return result
+
+
+def static_ownership_map(paths: Iterable[str] | None = None) -> dict:
+    """The inferred ownership map, as the OWN rules see it.
+
+    Runs the staticcheck ownership phase over ``paths`` (default: the
+    installed ``repro`` package sources).  Imported lazily — the lint
+    machinery is a development dependency of the *witnessed* runs only.
+    """
+    from repro.staticcheck.ownership import compute_ownership_map
+
+    return compute_ownership_map(paths=paths).to_json()

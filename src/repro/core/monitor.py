@@ -198,7 +198,11 @@ class IntegratedMonitor:
         """Whether the rate limiter would admit a statistics sample at
         ``now`` (advisory read; :meth:`record_statistics` re-checks
         under the lock)."""
-        return now - self._last_statistics_at >= STATISTICS_MIN_INTERVAL_S
+        # Deliberate benign race: a stale read only delays or dupes the
+        # *advisory* answer, and the authoritative check re-reads under
+        # _counter_lock.  Taking the lock here would put an acquisition
+        # on every per-statement sampling probe.
+        return now - self._last_statistics_at >= STATISTICS_MIN_INTERVAL_S  # staticcheck: ignore[OWN001]
 
     @property
     def average_sensor_call_s(self) -> float:

@@ -209,7 +209,10 @@ class TuningJournal:
                 sql=recommendation.to_sql(), undo_sql=undo,
                 state=JournalState.INTENT, error="",
                 updated_at=self.clock.now())
-            self._write_locked(entry)
+            # Durable write under _write_mutex is the journal's whole
+            # contract (rows hit the table in seq order before the
+            # change applies) — the blocking flush is the point.
+            self._write_locked(entry)  # staticcheck: ignore[LCK004]
             self._prune_locked()
         return entry_id
 
@@ -239,7 +242,9 @@ class TuningJournal:
                 object_name=current.object_name, sql=current.sql,
                 undo_sql=current.undo_sql, state=state, error=error,
                 updated_at=self.clock.now())
-            self._write_locked(entry)
+            # Same ordering contract as record_intent: flush-in-lock
+            # is deliberate.
+            self._write_locked(entry)  # staticcheck: ignore[LCK004]
             self._prune_locked()
 
     # staticcheck: guarded-by(_write_mutex)

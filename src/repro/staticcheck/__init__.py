@@ -73,6 +73,26 @@ Irreducible costs are waived with ``# staticcheck:
 allocfree(<witness>)``; PRF findings carry hotness provenance (the
 ``hotpath`` root plus the call chain) in text and JSON (schema v4).
 
+A *thread-ownership* phase (:mod:`repro.staticcheck.ownership` +
+:mod:`repro.staticcheck.rules_ownership`) infers thread roles from
+``threading.Thread`` construction sites, propagates them breadth-first
+through the call graph, joins them with field-sensitive access sites
+and classifies every monitored class field as ``exclusive(role)``,
+``guarded(lock)``, ``handoff`` or ``shared-unsynchronized``:
+
+* **Cross-thread access** (``OWN001``) — a field reached by several
+  thread roles with no common lock held at every site.
+* **Thread escape** (``OWN002``) — ``self`` stored into a module
+  global outside ``__init__`` with no lock held, publishing
+  thread-owned state without a publication point (extends PUB001
+  beyond construction).
+* **Ownership drift** (``OWN003``) — an ``owned(<role>)`` /
+  ``shared(<lock>)`` annotation the inferred map contradicts.
+
+The inferred map is exported as an artifact (``repro lint
+--ownership-map``, JSON schema v5) and corroborated at runtime by
+:mod:`repro.core.accesswitness` during ``repro chaos --witness``.
+
 Analysis is *incremental* and *budgeted*: ``--cache`` persists results
 under ``.staticcheck-cache/`` keyed by content hash, rule-set version
 and call-graph dependency fingerprint so a warm run re-analyzes
@@ -113,7 +133,19 @@ from repro.staticcheck.driver import (
 )
 from repro.staticcheck.findings import Finding, Severity, TraceEntry
 from repro.staticcheck.lockflow import DeepContext, LockFlow
-from repro.staticcheck.reporters import parse_json, render_json, render_text
+from repro.staticcheck.ownership import (
+    OwnershipResult,
+    compute_ownership,
+    compute_ownership_map,
+    ownership_for,
+    thread_start_sites,
+)
+from repro.staticcheck.reporters import (
+    parse_json,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 # Importing the rule modules registers their rules with the registry.
 from repro.staticcheck import rules_clock  # noqa: F401  (registration)
@@ -123,6 +155,7 @@ from repro.staticcheck import rules_sensors  # noqa: F401
 from repro.staticcheck import rules_deep  # noqa: F401
 from repro.staticcheck import rules_atomic  # noqa: F401
 from repro.staticcheck import rules_perf  # noqa: F401
+from repro.staticcheck import rules_ownership  # noqa: F401
 
 __all__ = [
     "AnalysisCache",
@@ -134,6 +167,7 @@ __all__ = [
     "Finding",
     "LockFlow",
     "ModuleContext",
+    "OwnershipResult",
     "ProjectContext",
     "ProjectRule",
     "Rule",
@@ -146,12 +180,17 @@ __all__ = [
     "analyze_paths",
     "analyze_project",
     "build_project",
+    "compute_ownership",
+    "compute_ownership_map",
     "file_dependencies",
     "git_changed_files",
     "load_config",
+    "ownership_for",
     "parse_json",
     "register",
     "register_deep",
     "render_json",
+    "render_sarif",
     "render_text",
+    "thread_start_sites",
 ]

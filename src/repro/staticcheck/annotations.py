@@ -41,6 +41,13 @@ Annotations are ordinary comments attached to the line they govern:
   (``allocfree(rate-limited-1-per-s)``), or the reason the allocation
   is irreducible (``allocfree(record-is-the-product)``).  The witness
   is mandatory: a bare ``allocfree()`` does not waive anything.
+* ``# staticcheck: owned(<role>)`` — on an attribute assignment in
+  ``__init__``: the attribute belongs to exactly one thread role —
+  ``owned(main)`` for foreground-only state, or the role named after a
+  thread-start site (``owned(repro-storage-daemon)``).  The ownership
+  analysis (OWN rules) verifies the claim against the inferred
+  thread-role map and reports drift (OWN003); the role argument is
+  mandatory — a bare ``owned()`` asserts nothing.
 * ``# staticcheck: ignore`` / ``# staticcheck: ignore[LCK001,CLK001]``
   — suppress all / the listed findings reported for this line.
 
@@ -61,7 +68,8 @@ _DIRECTIVE_RE = re.compile(
 )
 
 KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "atomic",
-                    "hotpath", "coldpath", "allocfree", "ignore")
+                    "hotpath", "coldpath", "allocfree", "owned",
+                    "ignore")
 
 
 @dataclass(frozen=True)

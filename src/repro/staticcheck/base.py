@@ -31,6 +31,10 @@ class Rule(ABC):
     rule_id: str = ""
     summary: str = ""
     default_severity: Severity = Severity.ERROR
+    waiver: str = ""
+    """The rule's annotation/waiver grammar, shown by ``--list-rules``
+    — e.g. ``"atomic(<witness>) on the reported line"``.  Empty when
+    the only escape hatch is ``ignore[<rule>]`` (always available)."""
 
     @abstractmethod
     def check(self, module: "ModuleContext",
@@ -57,6 +61,8 @@ class ProjectRule(ABC):
     rule_id: str = ""
     summary: str = ""
     default_severity: Severity = Severity.ERROR
+    waiver: str = ""
+    """See :attr:`Rule.waiver`."""
 
     @abstractmethod
     def check_project(self, deep: "DeepContext",

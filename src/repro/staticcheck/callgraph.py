@@ -15,7 +15,12 @@ small amount of type inference:
   ``self.attr = param`` where the parameter carries a class annotation
   (string forward references included),
 * ``local.method()`` resolves the same way for unambiguously typed
-  local variables and annotated parameters.
+  local variables and annotated parameters,
+* chained attribute reads type through each hop
+  (``sensors = self.engine.sensors`` types the local from
+  ``EngineInstance.sensors``), and pre-bound method attributes
+  (``self._record = monitor.record_statement``) resolve a later
+  ``self._record(...)`` to the real method.
 
 Calls whose receiver cannot be typed produce no edge; calls resolving
 to a type outside the analyzed program produce an *external* edge whose
@@ -79,6 +84,10 @@ class ClassDecl:
     attr_types: dict[str, str] = field(default_factory=dict)
     """``self.<attr>`` -> type (project class qualname or external
     dotted name such as ``threading.Lock``)."""
+    bound_methods: dict[str, str] = field(default_factory=dict)
+    """``self.<attr>`` -> method qualname, for pre-bound callables
+    (``self._record = monitor.record_statement``) so that a later
+    ``self._record(...)`` produces a call edge to the real method."""
     bases: tuple[str, ...] = ()
     """Project-resolved base class qualnames."""
     condition_wraps: dict[str, str] = field(default_factory=dict)
@@ -230,6 +239,10 @@ def _infer_attr_types(project: ProjectContext, module: ModuleContext,
                                             decl, param_types, value)
             if inferred is not None and attr not in decl.attr_types:
                 decl.attr_types[attr] = inferred
+            if inferred is None and value is not None:
+                bound = _bound_method(project, decl, param_types, value)
+                if bound is not None:
+                    decl.bound_methods.setdefault(attr, bound)
             if value is not None:
                 wrapped = _condition_wrapped_attr(module, value)
                 if wrapped is not None:
@@ -382,11 +395,71 @@ def _infer_expr_type(project: ProjectContext, module: ModuleContext,
         return None
     if isinstance(value, ast.Name):
         return param_types.get(value.id)
-    if decl is not None:
-        attr = _self_target(value)
-        if attr is not None:
-            return decl.attr_types.get(attr)
+    if isinstance(value, ast.Attribute):
+        segments = dotted_segments(value)
+        if segments is not None:
+            return _chain_type(project, decl, param_types, segments)
     return None
+
+
+def _attr_type_of(project: ProjectContext, class_qualname: str,
+                  attr: str) -> str | None:
+    """``attr``'s inferred type on ``class_qualname``, walking
+    project-local base classes the same way method resolution does."""
+    seen: set[str] = set()
+    frontier = [class_qualname]
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        decl = project.classes.get(current)
+        if decl is None:
+            continue
+        inferred = decl.attr_types.get(attr)
+        if inferred is not None:
+            return inferred
+        frontier.extend(decl.bases)
+    return None
+
+
+def _chain_type(project: ProjectContext, decl: ClassDecl | None,
+                param_types: dict[str, str],
+                segments: list[str]) -> str | None:
+    """Type of a dotted read like ``self.engine.sensors`` or
+    ``monitor.statements``: resolve the head (``self`` or a typed
+    name), then fold each attribute through the owning class'
+    inferred attribute types."""
+    if not segments:
+        return None
+    head, *rest = segments
+    if head == "self":
+        if decl is None:
+            return None
+        current: str | None = decl.qualname
+    else:
+        current = param_types.get(head)
+    for attr in rest:
+        if current is None or current not in project.classes:
+            return None
+        current = _attr_type_of(project, current, attr)
+    return current
+
+
+def _bound_method(project: ProjectContext, decl: ClassDecl | None,
+                  param_types: dict[str, str],
+                  value: ast.expr) -> str | None:
+    """Method qualname when ``value`` reads a bound method, e.g.
+    ``monitor.record_statement`` with ``monitor: IntegratedMonitor``."""
+    if not isinstance(value, ast.Attribute):
+        return None
+    segments = dotted_segments(value)
+    if segments is None or len(segments) < 2:
+        return None
+    owner = _chain_type(project, decl, param_types, segments[:-1])
+    if owner is None or owner not in project.classes:
+        return None
+    return project.resolve_method(owner, segments[-1])
 
 
 # -- call resolution --------------------------------------------------------
@@ -457,9 +530,15 @@ def _resolve_one_call(project: ProjectContext, module: ModuleContext,
                                             segments[1])
             if target is not None:
                 return target, False
+            # self._record(...): a pre-bound method attribute.
+            bound = _bound_method_of(project, class_decl.qualname,
+                                     segments[1])
+            if bound is not None:
+                return bound, False
             return None
         # self.attr.method(...): dispatch through the attribute's type.
-        attr_type = class_decl.attr_types.get(segments[1])
+        attr_type = _attr_type_of(project, class_decl.qualname,
+                                  segments[1])
         return _dispatch_on_type(project, attr_type, segments[2:])
 
     if head in local_types and len(segments) >= 2:
@@ -499,14 +578,44 @@ def _resolve_one_call(project: ProjectContext, module: ModuleContext,
     return dotted, True
 
 
+def _bound_method_of(project: ProjectContext, class_qualname: str,
+                     attr: str) -> str | None:
+    """Pre-bound method recorded for ``attr``, walking base classes."""
+    seen: set[str] = set()
+    frontier = [class_qualname]
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        decl = project.classes.get(current)
+        if decl is None:
+            continue
+        bound = decl.bound_methods.get(attr)
+        if bound is not None:
+            return bound
+        frontier.extend(decl.bases)
+    return None
+
+
 def _dispatch_on_type(project: ProjectContext, receiver_type: str | None,
                       remaining: list[str]) -> tuple[str, bool] | None:
     if receiver_type is None or not remaining:
         return None
+    # Fold intermediate attributes (``self.engine.sensors.start(...)``)
+    # through the owning classes' inferred attribute types.
+    while len(remaining) > 1 and receiver_type in project.classes:
+        next_type = _attr_type_of(project, receiver_type, remaining[0])
+        if next_type is None:
+            return None
+        receiver_type = next_type
+        remaining = remaining[1:]
     if receiver_type in project.classes:
-        if len(remaining) == 1:
-            target = project.resolve_method(receiver_type, remaining[0])
-            if target is not None:
-                return target, False
+        target = project.resolve_method(receiver_type, remaining[0])
+        if target is not None:
+            return target, False
+        bound = _bound_method_of(project, receiver_type, remaining[0])
+        if bound is not None:
+            return bound, False
         return None
     return ".".join([receiver_type, *remaining]), True

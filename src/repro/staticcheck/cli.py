@@ -36,7 +36,11 @@ from repro.staticcheck.driver import (
     budget_findings,
     iter_python_files,
 )
-from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 DEFAULT_PATHS = ("src/repro",)
 DEFAULT_CACHE_DIR = ".staticcheck-cache"
@@ -53,6 +57,8 @@ def _run_tool(module: str, arguments: list[str]) -> int | None:
 
 _HOTNESS_DIRECTIVES = ("hotpath", "coldpath", "allocfree")
 
+_OWNERSHIP_DIRECTIVES = ("owned", "shared")
+
 
 def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     """The ``--changed`` file set: files under ``paths`` changed since
@@ -61,7 +67,11 @@ def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     hot-path annotations, every file *they* transitively call, because
     hotness flows caller → callee: editing only a ``hotpath`` or
     ``allocfree`` comment re-hotness-classifies downstream files whose
-    content is untouched.  None means "no git" — the caller falls back
+    content is untouched.  Ownership behaves the same way: thread
+    roles flow caller → callee from ``threading.Thread`` start sites,
+    so a changed file containing a start site or an
+    ``owned``/``shared`` directive re-classifies every file it
+    transitively calls.  None means "no git" — the caller falls back
     to a full run."""
     changed = git_changed_files()
     if changed is None:
@@ -81,7 +91,7 @@ def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     from repro.staticcheck.driver import ModuleContext
 
     modules = []
-    hot_seeds: list[str] = []
+    forward_seeds: list[str] = []
     for path in all_files:
         try:
             source = Path(path).read_text(encoding="utf-8")
@@ -90,15 +100,75 @@ def _changed_targets(paths: Sequence[str]) -> list[str] | None:
             continue
         modules.append(module)
         if path in in_scope and any(
-                directive.name in _HOTNESS_DIRECTIVES
+                directive.name in (*_HOTNESS_DIRECTIVES,
+                                   *_OWNERSHIP_DIRECTIVES)
                 for directives in module.annotations.values()
                 for directive in directives):
-            hot_seeds.append(path)
-    deps = file_dependencies(build_project(modules))
+            forward_seeds.append(path)
+    project = build_project(modules)
+    from repro.staticcheck.ownership import thread_start_paths
+
+    start_paths = thread_start_paths(project)
+    forward_seeds.extend(path for path in in_scope
+                         if path in start_paths
+                         and path not in forward_seeds)
+    deps = file_dependencies(project)
     targets = reverse_dependents(deps, in_scope)
-    if hot_seeds:
-        targets |= forward_dependencies(deps, hot_seeds)
+    if forward_seeds:
+        targets |= forward_dependencies(deps, forward_seeds)
     return sorted(targets & set(all_files))
+
+
+def _print_rules() -> None:
+    """``--list-rules``: every rule id, its one-line doc and waiver
+    grammar, plus the annotation directives — all read from the rule
+    classes and :data:`~repro.staticcheck.annotations.KNOWN_DIRECTIVES`
+    so the listing cannot drift from what the analyzer enforces."""
+    from repro.staticcheck.annotations import KNOWN_DIRECTIVES
+
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.summary}")
+        if rule.waiver:
+            print(f"{'':8}waiver: {rule.waiver}")
+    for deep_rule in all_deep_rules():
+        print(f"{deep_rule.rule_id}  [deep] {deep_rule.summary}")
+        if deep_rule.waiver:
+            print(f"{'':8}waiver: {deep_rule.waiver}")
+    print()
+    print("annotation grammar: # staticcheck: <directive>(<args>)")
+    print(f"  directives: {', '.join(KNOWN_DIRECTIVES)}")
+    print("  ignore[RULE1,RULE2] suppresses findings on its line; "
+          "every other")
+    print("  directive either declares an invariant (shared, "
+          "guarded-by, owned,")
+    print("  hotpath) or waives one with a named witness (bounded, "
+          "atomic,")
+    print("  allocfree, coldpath).")
+
+
+def _emit_ownership_map(paths: Sequence[str], destination: str) -> int:
+    """``--ownership-map``: run the thread-ownership phase over
+    ``paths`` and emit the map as a schema-v5 report (``-`` = stdout).
+
+    ``repro lint --ownership-map src/repro`` reads naturally but makes
+    argparse bind ``src/repro`` to the flag; an existing directory or
+    ``.py`` file is therefore reinterpreted as an analysis path."""
+    from repro.staticcheck.ownership import compute_ownership_map
+
+    target = Path(destination)
+    if destination != "-" and (target.is_dir() or (
+            target.suffix == ".py" and target.exists())):
+        paths = [destination, *[p for p in paths if p != destination]]
+        destination = "-"
+    config = load_config(Path(paths[0]))
+    result = compute_ownership_map(paths=paths, config=config)
+    payload = render_json([], ownership=result.to_json())
+    if destination == "-":
+        print(payload)
+    else:
+        Path(destination).write_text(payload + "\n", encoding="utf-8")
+        print(f"repro lint: ownership map written to {destination}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -109,9 +179,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files or directories to analyze "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="output_format",
-                        help="report format (json skips ruff/mypy)")
+                        help="report format (json and sarif skip "
+                             "ruff/mypy)")
     parser.add_argument("--skip-tools", action="store_true",
                         help="run only the custom AST rules, "
                              "never ruff/mypy")
@@ -138,14 +209,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "branch point plus their call-graph "
                              "dependents (shallow phase)")
     parser.add_argument("--list-rules", action="store_true",
-                        help="print the registered rules and exit")
+                        help="print the registered rules, their "
+                             "waiver grammar and the annotation "
+                             "directives, then exit")
+    parser.add_argument("--ownership-map", nargs="?", const="-",
+                        default=None, metavar="PATH",
+                        help="emit the inferred thread-ownership map "
+                             "(JSON schema v5) for the analyzed paths "
+                             "to PATH (default: stdout) and exit")
     arguments = parser.parse_args(argv)
 
     if arguments.list_rules:
-        for rule in all_rules():
-            print(f"{rule.rule_id}  {rule.summary}")
-        for deep_rule in all_deep_rules():
-            print(f"{deep_rule.rule_id}  [deep] {deep_rule.summary}")
+        _print_rules()
         return 0
 
     missing = [path for path in arguments.paths
@@ -154,6 +229,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro lint: no such path: {', '.join(missing)}",
               file=sys.stderr)
         return 2
+
+    if arguments.ownership_map is not None:
+        return _emit_ownership_map(arguments.paths,
+                                   arguments.ownership_map)
 
     config = load_config(Path(arguments.paths[0]))
     cache = (AnalysisCache.open(arguments.cache_dir, config)
@@ -185,6 +264,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             findings,
             timings=stats.timing_rows(),
             cache=cache.stats.to_dict() if cache is not None else None))
+        return 1 if findings else 0
+    if arguments.output_format == "sarif":
+        print(render_sarif(findings))
         return 1 if findings else 0
 
     print(render_text(findings))

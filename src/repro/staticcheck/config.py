@@ -141,6 +141,23 @@ class StaticcheckConfig:
     debug guard: formatting work under such a guard is exempt from
     PRF003 (the guard keeps it off the production hot path)."""
 
+    ownership_scope_paths: tuple[str, ...] = (
+        "*repro/core/daemon.py",
+        "*repro/core/monitor.py",
+        "*repro/core/autopilot.py",
+        "*repro/core/watchdog.py",
+        "*repro/core/ring_buffer.py",
+        "*repro/core/lockwitness.py",
+        "*repro/core/accesswitness.py",
+        "*repro/engine/locks.py",
+    )
+    """Modules where the thread-ownership rules (OWN001–OWN003) report
+    findings — the classes whose fields cross the daemon/tuner/main
+    thread boundary.  As with the hot-path scope, *inference* is
+    whole-program (thread roles propagate anywhere); only reporting is
+    scoped, so adopting the rules module-by-module does not require
+    the whole tree to be ownership-clean at once."""
+
     rule_budget_default_s: float = 5.0
     """Per-rule wall-time ceiling in seconds enforced by ``--budget``;
     rules whose accumulated analysis time exceeds it fail the lint

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.staticcheck.dataflow import AttrFlow
     from repro.staticcheck.hotpath import HotPathResult
+    from repro.staticcheck.ownership import OwnershipResult
 
 from repro.staticcheck.astutil import ancestors, dotted_segments, self_attribute
 from repro.staticcheck.callgraph import (
@@ -134,6 +135,11 @@ class DeepContext:
     """Lazily computed by the PRF rules via
     :func:`repro.staticcheck.hotpath.hotpaths_for` — one propagation
     per project, shared by all five performance rules."""
+
+    ownership: "OwnershipResult | None" = None
+    """Lazily computed by the OWN rules (and the ``--ownership-map``
+    export) via :func:`repro.staticcheck.ownership.ownership_for` —
+    one thread-role propagation and field classification per project."""
 
 
 def lock_attrs_of(project: ProjectContext,

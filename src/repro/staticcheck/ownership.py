@@ -1,0 +1,672 @@
+"""Thread-ownership analysis: who owns which field, proven from source.
+
+The lock rules (LCK/ATM/PUB) fire where locks are *present*; state that
+is racy precisely because nobody ever locks it is invisible to them.
+This phase closes that gap with a whole-program thread-role model:
+
+* **Thread roles** — every ``threading.Thread(target=..., name=...)``
+  construction site found in the program declares a role, named after
+  the thread's ``name=`` constant (``repro-storage-daemon``) or, when
+  unnamed, after the target's qualname.  ``main`` is the implicit
+  foreground role, seeded at every function that is neither a thread
+  target nor called from anywhere inside the program (public entry
+  points, CLI commands, test surface).
+* **Role propagation** — breadth-first from every root along resolved,
+  project-internal call edges (the same graph hot-path propagation
+  uses), so a method reachable from both the daemon's run loop and a
+  foreground ``stop()`` carries both roles.  BFS keeps the recorded
+  provenance a shortest call chain per (function, role).
+* **Field classification** — joining the per-method roles with every
+  ``self.<attr>`` read/write site (and the lock tokens held there, via
+  the dataflow layer) classifies each class field:
+
+  - ``exclusive`` — accessed by exactly one role after construction;
+  - ``guarded`` — accessed by several roles, every site holding one
+    common lock token (the publication discipline LCK001 enforces);
+  - ``handoff`` — written only during ``__init__`` (one role,
+    before the owning thread starts) and read afterwards;
+  - ``shared-unsynchronized`` — several roles, no common guard: the
+    finding OWN001 exists for;
+  - ``synchronized`` — the attribute *is* a synchronization primitive
+    (Lock/Event/Queue); its own internals are thread-safe.
+
+The result is exported as the *ownership map* (``repro lint
+--ownership-map``, JSON schema v5) and corroborated at runtime by
+:mod:`repro.core.accesswitness`, which records which threads actually
+touch annotated fields during the chaos soak and cross-checks the
+observations against this map.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.staticcheck.astutil import mutated_attr, self_attribute
+from repro.staticcheck.callgraph import (
+    ClassDecl,
+    FunctionDecl,
+    ProjectContext,
+    _external_dotted,
+    _local_types,
+)
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.findings import TraceEntry
+from repro.staticcheck.lockflow import LOCK_TYPES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.lockflow import DeepContext
+
+MAIN_ROLE = "main"
+
+_MAX_DEPTH = 20
+
+#: Attribute types that are synchronization primitives themselves:
+#: cross-thread access to them is the point, not a race.
+SYNC_TYPES = LOCK_TYPES | frozenset({
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Barrier",
+    "threading.local",
+    "queue.Queue",
+    "queue.SimpleQueue",
+})
+
+#: Thread-handle types: the handle is managed by whoever starts/joins
+#: the thread, not by the thread it names.
+_THREAD_HANDLE_TYPES = frozenset({"threading.Thread"})
+
+
+@dataclass(frozen=True)
+class ThreadStartSite:
+    """One ``threading.Thread(...)`` construction found in the program."""
+
+    role: str
+    """Role name: the ``name=`` constant, or the target qualname."""
+    path: str
+    line: int
+    function: str
+    """Qualname of the function containing the construction."""
+    target: str | None
+    """Resolved qualname of the thread's entry function, when the
+    ``target=`` expression could be typed; None otherwise."""
+
+
+@dataclass
+class AccessSite:
+    """One read or write of ``self.<attr>`` inside a method body."""
+
+    attr: str
+    function: str
+    path: str
+    line: int
+    column: int
+    kind: str
+    """``"read"`` or ``"write"``."""
+    roles: frozenset[str]
+    held: frozenset[str]
+    """Lock tokens held at the site (lexical + entry fixpoint)."""
+    in_init: bool
+
+
+@dataclass
+class FieldOwnership:
+    """The inferred ownership of one class attribute."""
+
+    attr: str
+    classification: str
+    """``exclusive`` | ``guarded`` | ``handoff`` |
+    ``shared-unsynchronized`` | ``synchronized``."""
+    roles: tuple[str, ...] = ()
+    """Roles observed at non-``__init__`` access sites, sorted."""
+    guard: str | None = None
+    """Common lock token, for ``guarded`` fields."""
+    sites: list[AccessSite] = field(default_factory=list)
+    """Non-``__init__`` access sites (evidence for the OWN rules)."""
+    init_writes: int = 0
+    declared_owner: str | None = None
+    """Role from an ``owned(<role>)`` annotation on the attribute."""
+    declared_shared: tuple[str, ...] = ()
+    """Lock args from a ``shared(...)`` annotation on the attribute."""
+    annotation_line: int | None = None
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for s in self.sites if s.kind == "read")
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for s in self.sites if s.kind == "write")
+
+
+@dataclass
+class ClassOwnership:
+    """Ownership map of one class's fields."""
+
+    decl: ClassDecl
+    fields: dict[str, FieldOwnership] = field(default_factory=dict)
+
+
+@dataclass
+class OwnershipResult:
+    """What the thread-ownership phase computed for a program."""
+
+    roles: dict[str, ThreadStartSite] = field(default_factory=dict)
+    """Role name -> the start site that declares it (``main`` absent:
+    it is implicit)."""
+    function_roles: dict[str, frozenset[str]] = field(default_factory=dict)
+    """Function qualname -> roles whose threads can execute it."""
+    provenance: dict[str, dict[str, tuple[TraceEntry, ...]]] = \
+        field(default_factory=dict)
+    """Function qualname -> role -> shortest call chain from that
+    role's root (evidence for findings)."""
+    classes: dict[str, ClassOwnership] = field(default_factory=dict)
+
+    def roles_of(self, qualname: str) -> frozenset[str]:
+        """Roles of a function; unreached functions default to
+        ``main`` — an unresolved caller is foreground until proven
+        otherwise, which errs toward reporting cross-thread pairs."""
+        found = self.function_roles.get(qualname)
+        if not found:
+            return frozenset({MAIN_ROLE})
+        return found
+
+    def field_index(self) -> dict[str, FieldOwnership]:
+        """``<ClassQualname>.<attr>`` token -> ownership, the namespace
+        the runtime access witness records under."""
+        index: dict[str, FieldOwnership] = {}
+        for class_qualname, ownership in self.classes.items():
+            for attr, info in ownership.fields.items():
+                index[f"{class_qualname}.{attr}"] = info
+        return index
+
+    def to_json(self) -> dict[str, Any]:
+        """The ownership-map artifact (``repro lint --ownership-map``)."""
+        roles: dict[str, Any] = {
+            MAIN_ROLE: {"kind": "entry", "note": "foreground callers"},
+        }
+        for name, site in sorted(self.roles.items()):
+            roles[name] = {
+                "kind": "thread",
+                "start_site": f"{site.path}:{site.line}",
+                "started_by": site.function,
+                "target": site.target,
+            }
+        classes: dict[str, Any] = {}
+        for qualname in sorted(self.classes):
+            ownership = self.classes[qualname]
+            fields_json: dict[str, Any] = {}
+            for attr in sorted(ownership.fields):
+                info = ownership.fields[attr]
+                entry: dict[str, Any] = {
+                    "classification": info.classification,
+                    "roles": list(info.roles),
+                    "reads": info.reads,
+                    "writes": info.writes,
+                    "init_writes": info.init_writes,
+                }
+                if info.guard is not None:
+                    entry["guard"] = info.guard
+                if info.declared_owner is not None:
+                    entry["declared_owner"] = info.declared_owner
+                if info.declared_shared:
+                    entry["declared_shared"] = list(info.declared_shared)
+                fields_json[attr] = entry
+            classes[qualname] = {
+                "path": ownership.decl.module.path,
+                "fields": fields_json,
+            }
+        return {
+            "generated_by": "repro.staticcheck.ownership",
+            "version": 1,
+            "roles": roles,
+            "classes": classes,
+        }
+
+
+# -- thread-start discovery ---------------------------------------------------
+
+
+def thread_start_sites(project: ProjectContext) -> list[ThreadStartSite]:
+    """Every ``threading.Thread(...)`` construction in the program,
+    with its role name and (when resolvable) target qualname."""
+    sites: list[ThreadStartSite] = []
+    for fq, decl in project.functions.items():
+        for node in ast.walk(decl.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_thread_ctor(decl, node):
+                continue
+            target = _resolve_target(project, decl, node)
+            name = _thread_name(node)
+            if name is None:
+                name = (f"thread:{target}" if target is not None
+                        else f"thread:{fq}:{node.lineno}")
+            sites.append(ThreadStartSite(
+                role=name, path=decl.module.path, line=node.lineno,
+                function=fq, target=target))
+    sites.sort(key=lambda s: (s.path, s.line))
+    return sites
+
+
+def thread_start_paths(project: ProjectContext) -> set[str]:
+    """Paths containing at least one thread construction — editing one
+    can re-role downstream files, so ``--changed`` treats them like
+    hot-path annotation seeds (roles flow caller → callee)."""
+    return {site.path for site in thread_start_sites(project)}
+
+
+def _is_thread_ctor(decl: FunctionDecl, node: ast.Call) -> bool:
+    from repro.staticcheck.astutil import dotted_segments
+
+    segments = dotted_segments(node.func)
+    if segments is None:
+        return False
+    return _external_dotted(decl.module, segments) == "threading.Thread"
+
+
+def _thread_name(node: ast.Call) -> str | None:
+    for keyword in node.keywords:
+        if keyword.arg == "name" and isinstance(keyword.value, ast.Constant) \
+                and isinstance(keyword.value.value, str):
+            return keyword.value.value
+    return None
+
+
+def _resolve_target(project: ProjectContext, decl: FunctionDecl,
+                    node: ast.Call) -> str | None:
+    """Qualname of the ``target=`` callable: ``self.<m>`` resolves
+    through the enclosing class, bare names through the module, and
+    ``obj.<m>`` through typed locals/parameters."""
+    target_expr: ast.expr | None = None
+    for keyword in node.keywords:
+        if keyword.arg == "target":
+            target_expr = keyword.value
+    if target_expr is None:
+        return None
+    class_decl = (project.classes.get(decl.class_qualname)
+                  if decl.class_qualname else None)
+    attr = self_attribute(target_expr)
+    if attr is not None and class_decl is not None:
+        return project.resolve_method(class_decl.qualname, attr)
+    if isinstance(target_expr, ast.Name):
+        from repro.staticcheck.callgraph import module_name_for
+
+        modname = module_name_for(decl.module.path)
+        candidate = f"{modname}.{target_expr.id}"
+        if candidate in project.functions:
+            return candidate
+        return None
+    if (isinstance(target_expr, ast.Attribute)
+            and isinstance(target_expr.value, ast.Name)):
+        local_types = _local_types(project, decl, class_decl)
+        receiver = local_types.get(target_expr.value.id)
+        if receiver is not None and receiver in project.classes:
+            return project.resolve_method(receiver, target_expr.attr)
+    return None
+
+
+# -- role propagation ---------------------------------------------------------
+
+
+def _override_map(project: ProjectContext) -> dict[str, tuple[str, ...]]:
+    """Base-method qualname -> overriding-method qualnames, over the
+    project's class hierarchy.  A call that resolves to ``Sensors.x``
+    may execute ``MonitorSensors.x`` at runtime, so roles must flow
+    into every override too (class-hierarchy virtual dispatch) — the
+    access witness caught exactly this hole: daemon-role accesses on
+    monitor state the base-resolved call graph classified main-only."""
+    overrides: dict[str, set[str]] = {}
+    for decl in project.classes.values():
+        seen: set[str] = set()
+        stack = list(decl.bases)
+        while stack:
+            base_qualname = stack.pop()
+            if base_qualname in seen:
+                continue
+            seen.add(base_qualname)
+            base = project.classes.get(base_qualname)
+            if base is None:
+                continue
+            for name, fq in decl.methods.items():
+                base_fq = base.methods.get(name)
+                if base_fq is not None and base_fq != fq:
+                    overrides.setdefault(base_fq, set()).add(fq)
+            stack.extend(base.bases)
+    return {base_fq: tuple(sorted(methods))
+            for base_fq, methods in overrides.items()}
+
+
+def _propagate(project: ProjectContext, result: OwnershipResult) -> None:
+    """Breadth-first role propagation along internal call edges.
+
+    Runs one BFS per role so every (function, role) pair keeps a
+    shortest-chain provenance, mirroring hot-path propagation."""
+    sites = thread_start_sites(project)
+    targets: set[str] = set()
+    role_roots: dict[str, list[tuple[str, TraceEntry]]] = {}
+    for site in sites:
+        result.roles.setdefault(site.role, site)
+        if site.target is None or site.target not in project.functions:
+            continue
+        targets.add(site.target)
+        root_decl = project.functions[site.target]
+        role_roots.setdefault(site.role, []).append((site.target, TraceEntry(
+            path=site.path, line=site.line, function=site.function,
+            note=f"starts thread {site.role!r} targeting "
+                 f"{site.target}()")))
+        _ = root_decl  # declaration looked up to assert existence
+
+    called_internally: set[str] = set()
+    for fq in project.functions:
+        for edge in project.calls_from(fq):
+            if not edge.external and edge.callee in project.functions:
+                called_internally.add(edge.callee)
+
+    main_roots: list[tuple[str, TraceEntry]] = []
+    for fq, decl in project.functions.items():
+        if fq in targets or fq in called_internally:
+            continue
+        main_roots.append((fq, TraceEntry(
+            path=decl.module.path, line=decl.node.lineno, function=fq,
+            note="entry point: no internal caller, reachable from the "
+                 "foreground")))
+    role_roots[MAIN_ROLE] = main_roots
+
+    overrides = _override_map(project)
+    for role in sorted(role_roots):
+        _bfs_role(project, result, role, role_roots[role], overrides)
+
+
+def _bfs_role(project: ProjectContext, result: OwnershipResult,
+              role: str, roots: list[tuple[str, TraceEntry]],
+              overrides: dict[str, tuple[str, ...]]) -> None:
+    queue: deque[tuple[str, int]] = deque()
+
+    def mark(fq: str, chain: tuple[TraceEntry, ...], depth: int) -> bool:
+        chains = result.provenance.setdefault(fq, {})
+        if role in chains:
+            return False
+        chains[role] = chain
+        result.function_roles[fq] = \
+            result.function_roles.get(fq, frozenset()) | {role}
+        queue.append((fq, depth))
+        return True
+
+    for fq, origin in roots:
+        mark(fq, (origin,), 0)
+    while queue:
+        fq, depth = queue.popleft()
+        if depth >= _MAX_DEPTH:
+            continue
+        caller_decl = project.functions[fq]
+        for edge in project.calls_from(fq):
+            if edge.external or edge.callee not in project.functions:
+                continue
+            step = TraceEntry(
+                path=caller_decl.module.path, line=edge.line,
+                function=fq, note=f"{role} calls {edge.callee}()")
+            chain = (*result.provenance[fq][role], step)
+            mark(edge.callee, chain, depth + 1)
+            # Class-hierarchy virtual dispatch: the resolved callee may
+            # be a base method whose override actually runs.
+            for override in overrides.get(edge.callee, ()):
+                virtual_step = TraceEntry(
+                    path=caller_decl.module.path, line=edge.line,
+                    function=fq,
+                    note=f"{role} calls {edge.callee}(), which "
+                         f"{override}() overrides")
+                mark(override, (*result.provenance[fq][role],
+                                virtual_step), depth + 1)
+
+
+# -- field classification -----------------------------------------------------
+
+
+def _delegates_mutation(project: ProjectContext, decl: ClassDecl,
+                        attr: str) -> bool:
+    """Whether mutator-method calls on ``self.<attr>`` are the
+    *delegate's* concern: true when the attribute's inferred type is a
+    project class that carries its own synchronization (a lock-typed
+    attribute or a Condition wrap), so its methods — which the
+    ownership phase classifies separately — enforce the discipline.
+    Direct rebinds and mutation of unsynchronized containers stay
+    write sites here."""
+    attr_type = decl.attr_types.get(attr)
+    if attr_type is None:
+        return False
+    delegate = project.classes.get(attr_type)
+    if delegate is None:
+        return False
+    if delegate.condition_wraps:
+        return True
+    return any(inner in SYNC_TYPES
+               for inner in delegate.attr_types.values())
+
+
+def _collect_sites(deep: "DeepContext", config: StaticcheckConfig,
+                   result: OwnershipResult,
+                   decl: ClassDecl) -> dict[str, list[AccessSite]]:
+    """Every ``self.<attr>`` read and write inside the class's own
+    methods, with roles and held locks attached."""
+    from repro.staticcheck.dataflow import attr_flows_for
+
+    analyzer = attr_flows_for(deep, config)
+    sites: dict[str, list[AccessSite]] = {}
+    for method_name, method_fq in decl.methods.items():
+        method = deep.project.functions.get(method_fq)
+        if method is None:
+            continue
+        in_init = method_name == "__init__"
+        roles = result.roles_of(method_fq)
+        seen_writes: set[int] = set()
+        for node in ast.walk(method.node):
+            mutation = mutated_attr(node)
+            if mutation is not None:
+                attr, location = mutation
+                if (isinstance(location, ast.Call)
+                        and _delegates_mutation(deep.project, decl,
+                                                attr)):
+                    # ``self.statistics.append(...)``: the mutation
+                    # happens inside the attribute's own class, whose
+                    # lock discipline is classified separately — the
+                    # binding itself is only read here, matching the
+                    # access witness (``__setattr__`` fires on
+                    # rebinds, not on delegate-internal mutation).
+                    continue
+                seen_writes.add(id(location))
+                sites.setdefault(attr, []).append(AccessSite(
+                    attr=attr, function=method_fq,
+                    path=method.module.path,
+                    line=getattr(location, "lineno", method.node.lineno),
+                    column=getattr(location, "col_offset", 0),
+                    kind="write", roles=roles,
+                    held=analyzer.held_at(method_fq, location),
+                    in_init=in_init))
+        for node in ast.walk(method.node):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            attr = self_attribute(node) or ""
+            if not attr or attr in decl.methods:
+                continue  # `self.helper(...)` is a call, not state
+            sites.setdefault(attr, []).append(AccessSite(
+                attr=attr, function=method_fq, path=method.module.path,
+                line=node.lineno, column=node.col_offset,
+                kind="read", roles=roles,
+                held=analyzer.held_at(method_fq, node),
+                in_init=in_init))
+    return sites
+
+
+def _attr_annotations(decl: ClassDecl,
+                      ) -> dict[str, tuple[str | None,
+                                           tuple[str, ...], int | None]]:
+    """Per attribute: (owned role, shared lock args, annotation line)
+    from directives attached to its assignments inside the class."""
+    module = decl.module
+    annotations: dict[str, tuple[str | None, tuple[str, ...],
+                                 int | None]] = {}
+    for node in ast.walk(decl.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = self_attribute(target)
+            if attr is None:
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            for line in range(node.lineno, end + 1):
+                owned = module.directives(line, "owned")
+                shared = module.directives(line, "shared")
+                if not owned and not shared:
+                    continue
+                prev_owner, prev_shared, prev_line = annotations.get(
+                    attr, (None, (), None))
+                owner = prev_owner
+                if owned and owned[0].args:
+                    owner = owned[0].args[0]
+                shared_args = prev_shared
+                if shared:
+                    shared_args = tuple(shared[0].args)
+                annotations[attr] = (
+                    owner, shared_args,
+                    prev_line if prev_line is not None else line)
+    return annotations
+
+
+def _classify(decl: ClassDecl, attr: str,
+              sites: list[AccessSite]) -> FieldOwnership:
+    attr_type = decl.attr_types.get(attr)
+    info = FieldOwnership(attr=attr, classification="")
+    info.init_writes = sum(1 for s in sites
+                           if s.in_init and s.kind == "write")
+    info.sites = [s for s in sites if not s.in_init]
+    if attr_type in SYNC_TYPES:
+        info.classification = "synchronized"
+        info.roles = _site_roles(info.sites)
+        return info
+    post_writes = [s for s in info.sites if s.kind == "write"]
+    info.roles = _site_roles(info.sites)
+    if not post_writes:
+        info.classification = "handoff"
+        return info
+    if len(info.roles) == 1:
+        info.classification = "exclusive"
+        return info
+    common = _common_guard(decl, info.sites)
+    if common is not None:
+        info.classification = "guarded"
+        info.guard = common
+        return info
+    info.classification = "shared-unsynchronized"
+    return info
+
+
+def _site_roles(sites: list[AccessSite]) -> tuple[str, ...]:
+    roles: set[str] = set()
+    for site in sites:
+        roles.update(site.roles)
+    return tuple(sorted(roles))
+
+
+def _common_guard(decl: ClassDecl,
+                  sites: list[AccessSite]) -> str | None:
+    """The lock token held at *every* post-construction access —
+    reads included: an unlocked read of multi-role state is exactly
+    the torn observation the guard exists to prevent."""
+    common: set[str] | None = None
+    for site in sites:
+        held = set(site.held)
+        common = held if common is None else (common & held)
+        if not common:
+            return None
+    if not common:
+        return None
+    own = sorted(token for token in common
+                 if token.startswith(f"{decl.qualname}."))
+    return (own or sorted(common))[0]
+
+
+def compute_ownership(deep: "DeepContext",
+                      config: StaticcheckConfig) -> OwnershipResult:
+    """Run the full phase: roles, propagation, field classification."""
+    result = OwnershipResult()
+    _propagate(deep.project, result)
+    for qualname in sorted(deep.project.classes):
+        decl = deep.project.classes[qualname]
+        sites = _collect_sites(deep, config, result, decl)
+        if not sites:
+            continue
+        ownership = ClassOwnership(decl=decl)
+        annotations = _attr_annotations(decl)
+        lock_names = {attr for attr, attr_type in decl.attr_types.items()
+                      if attr_type in LOCK_TYPES}
+        for attr in sorted(sites):
+            relevant = sites[attr]
+            if not any(not s.in_init for s in relevant):
+                continue  # construction-only: not monitored state
+            if attr in lock_names:
+                info = FieldOwnership(attr=attr,
+                                      classification="synchronized")
+                info.sites = [s for s in relevant if not s.in_init]
+                info.roles = _site_roles(info.sites)
+            else:
+                info = _classify(decl, attr, relevant)
+            owner, shared_args, line = annotations.get(attr,
+                                                       (None, (), None))
+            info.declared_owner = owner
+            info.declared_shared = shared_args
+            info.annotation_line = line
+            ownership.fields[attr] = info
+        if ownership.fields:
+            result.classes[qualname] = ownership
+    return result
+
+
+def ownership_for(deep: "DeepContext",
+                  config: StaticcheckConfig) -> OwnershipResult:
+    """Memoized phase on the shared :class:`DeepContext` — the three
+    OWN rules (and the map export) all consume one computation."""
+    if deep.ownership is None:
+        deep.ownership = compute_ownership(deep, config)
+    return deep.ownership
+
+
+# -- standalone map computation (CLI / runtime witness) -----------------------
+
+
+def compute_ownership_map(paths: Iterable[str] | None = None,
+                          config: StaticcheckConfig | None = None,
+                          ) -> OwnershipResult:
+    """Build the project and run the phase over ``paths`` (default:
+    the installed ``repro`` package sources — the same convention as
+    :func:`repro.core.lockwitness.static_order_edges`, so the runtime
+    access witness can fetch the map without a checkout)."""
+    import pathlib
+
+    from repro.staticcheck.callgraph import build_project
+    from repro.staticcheck.driver import ModuleContext, iter_python_files
+    from repro.staticcheck.lockflow import DeepContext, LockFlow
+
+    if config is None:
+        config = StaticcheckConfig()
+    if paths is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        paths = [str(package_root)]
+    modules = []
+    for path in iter_python_files(list(paths)):
+        try:
+            modules.append(ModuleContext.from_source(
+                str(path), path.read_text(encoding="utf-8")))
+        except (OSError, SyntaxError):
+            continue
+    project = build_project(modules)
+    lockflow = LockFlow(project, config).analyze()
+    deep = DeepContext(project=project, lockflow=lockflow)
+    return ownership_for(deep, config)

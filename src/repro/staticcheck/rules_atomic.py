@@ -99,6 +99,8 @@ class CheckThenActRule(_AtomicRuleBase):
     summary = ("a lock-guarded field must not be tested without the "
                "lock (or via a stale snapshot) and then acted on — "
                "the decision can be invalidated between test and act")
+    waiver = ("atomic(<witness>) on the test, naming why the pair cannot"
+              " be invalidated between test and act")
     default_severity = Severity.ERROR
 
     def check_project(self, deep: DeepContext,
@@ -272,6 +274,8 @@ class CompoundUpdateRule(_AtomicRuleBase):
     summary = ("compound updates (`x.n += 1`, `d[k] = d.get(k, ...)`)"
                " on an attribute whose other writes hold a lock must "
                "hold that lock too — interleaving loses updates")
+    waiver = ("atomic(<witness>) on the update, naming the evidence of"
+              " atomicity (e.g. a GIL-atomic single store)")
     default_severity = Severity.ERROR
 
     def check_project(self, deep: DeepContext,
@@ -321,6 +325,7 @@ class UnsafePublicationRule(ProjectRule):
     summary = ("`self` must not escape __init__ (thread start, "
                "callback registry, module global) before every "
                "attribute __init__ assigns exists")
+    waiver = "atomic(<witness>) on the escape, naming the publication point"
     default_severity = Severity.ERROR
 
     def check_project(self, deep: DeepContext,

@@ -106,6 +106,8 @@ class BlockingUnderLockRule(ProjectRule):
     summary = ("no blocking call (sleep, socket/file I/O, SQL "
                "execution, untimed queue.get/join) may be reachable "
                "while a lock is held")
+    waiver = ("coldpath(<witness>) on the blocking callee when it is"
+              " provably off every locked path")
     default_severity = Severity.ERROR
 
     def check_project(self, deep: DeepContext,
@@ -174,6 +176,8 @@ class UnboundedGrowthRule(ProjectRule):
     summary = ("containers in monitor/sensor paths must be bounded: "
                "an eviction call, maxlen, a capacity check or a "
                "`# staticcheck: bounded(...)` declaration")
+    waiver = ("bounded(<witness>) on the container, naming the eviction"
+              " mechanism or capacity proof")
     default_severity = Severity.ERROR
 
     def check_project(self, deep: DeepContext,
@@ -337,6 +341,8 @@ class SensorBudgetRule(ProjectRule):
     rule_id = "SNS002"
     summary = ("sensor record paths must stay O(1): no loops over "
                "catalog/engine collections, directly or through calls")
+    waiver = ("bounded(<witness>) on the loop, naming why the iterable"
+              " is O(1) in catalog size")
     default_severity = Severity.ERROR
 
     def check_project(self, deep: DeepContext,

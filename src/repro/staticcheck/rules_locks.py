@@ -109,6 +109,8 @@ class UnguardedSharedMutationRule(Rule):
     rule_id = "LCK001"
     summary = ("attributes marked shared(<lock>) may only be mutated "
                "under `with self.<lock>:` or in a guarded-by method")
+    waiver = ("declare with `shared(<lock>)` on the attribute; a deliberate"
+              " lock-free mutation site needs `ignore[LCK001]` on its line")
     default_severity = Severity.ERROR
 
     def check(self, module: ModuleContext,

@@ -1,0 +1,320 @@
+"""OWN — thread-ownership rule family (``--deep``).
+
+Built on the whole-program thread-role model of
+:mod:`repro.staticcheck.ownership`: roles are inferred from
+``threading.Thread`` start sites, propagated breadth-first through the
+call graph, and joined with every ``self.<attr>`` read/write site to
+classify each field as ``exclusive``/``guarded``/``handoff``/
+``shared-unsynchronized``.
+
+``OWN001`` — cross-thread access with no common guard.  A field is
+read or written by several thread roles and no single lock token is
+held at every post-construction access.  Either some role is touching
+state it does not own, or the publication discipline is missing — add
+the guard (and a ``shared(<lock>)`` annotation so LCK001 polices it),
+or assert single-role ownership with ``owned(<role>)`` (OWN003 then
+verifies the assertion holds as the call graph evolves).
+
+``OWN002`` — object escaping its owning thread without a publication
+point.  ``self`` is stored into a module global (registry, singleton
+slot) from an ordinary method with no lock held at the store: any
+other thread can now reach the object, but nothing orders that access
+after the state it observes.  PUB001 polices the same escape during
+``__init__``; OWN002 extends it to the object's whole lifetime.  A
+deliberate publication (e.g. one serialized by an outer mutex) is
+waived with ``atomic(<witness>)`` on the line.
+
+``OWN003`` — annotation drift.  An ``owned(<role>)`` claim that the
+inferred map contradicts (the field is reached by other roles, or the
+role name does not exist), or a ``shared(<lock>)`` claim naming a lock
+that is not the guard actually held at the field's accesses.  The
+annotations are load-bearing — LCK001 and the runtime access witness
+trust them — so they must track reality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.staticcheck.base import ProjectRule, register_deep
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.findings import Finding, Severity, TraceEntry
+from repro.staticcheck.lockflow import DeepContext
+from repro.staticcheck.ownership import (
+    MAIN_ROLE,
+    AccessSite,
+    ClassOwnership,
+    FieldOwnership,
+    OwnershipResult,
+    ownership_for,
+)
+from repro.staticcheck.rules_atomic import _global_stores, _waived
+
+
+class _OwnershipRuleBase(ProjectRule):
+    """Shared iteration over in-scope classes of the ownership map."""
+
+    def _scoped_classes(self, deep: DeepContext, config: StaticcheckConfig,
+                        ) -> Iterable[tuple[str, ClassOwnership,
+                                            OwnershipResult]]:
+        result = ownership_for(deep, config)
+        for qualname in sorted(result.classes):
+            ownership = result.classes[qualname]
+            if config.path_matches(ownership.decl.module.path,
+                                   config.ownership_scope_paths):
+                yield qualname, ownership, result
+
+    def _site_trace(self, info: FieldOwnership,
+                    limit: int = 4) -> list[TraceEntry]:
+        """One evidence entry per distinct (role set, function),
+        showing which thread roles reach which access sites."""
+        entries: list[TraceEntry] = []
+        seen: set[tuple[frozenset[str], str]] = set()
+        for site in sorted(info.sites, key=lambda s: (s.line, s.column)):
+            key = (site.roles, site.function)
+            if key in seen:
+                continue
+            seen.add(key)
+            roles = ", ".join(sorted(site.roles))
+            held = (" holding " + ", ".join(sorted(site.held))
+                    if site.held else " with no lock held")
+            entries.append(TraceEntry(
+                path=site.path, line=site.line, function=site.function,
+                note=f"{site.kind}s self.{site.attr} as [{roles}]{held}"))
+            if len(entries) >= limit:
+                break
+        return entries
+
+
+@register_deep
+class CrossThreadAccessRule(_OwnershipRuleBase):
+    """OWN001 — multi-role field access with no common guard."""
+
+    rule_id = "OWN001"
+    summary = ("a field reached by several thread roles must hold one "
+               "common lock at every access — unsynchronized "
+               "cross-thread state is a data race by construction")
+    default_severity = Severity.ERROR
+    waiver = ("guard it and annotate `shared(<lock>)`, or assert "
+              "single-role ownership with `owned(<role>)` on the "
+              "attribute (OWN003 verifies the claim); last resort "
+              "`ignore[OWN001]`")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for qualname, ownership, result in self._scoped_classes(deep,
+                                                                config):
+            module = ownership.decl.module
+            for attr in sorted(ownership.fields):
+                info = ownership.fields[attr]
+                if info.classification != "shared-unsynchronized":
+                    continue
+                if info.declared_owner is not None:
+                    continue  # the claim is OWN003's to police
+                anchor = self._anchor(info)
+                if anchor is None:
+                    continue
+                roles = ", ".join(info.roles)
+                yield self.finding(
+                    module.path, anchor.line, anchor.column,
+                    f"cross-thread access without a guard: self.{attr} "
+                    f"of {ownership.decl.name} is accessed by roles "
+                    f"[{roles}] and no common lock is held at every "
+                    f"site; another thread can observe torn or stale "
+                    f"state — guard every access with one lock (and "
+                    f"annotate `shared(<lock>)`), or declare "
+                    f"single-role ownership with "
+                    f"`# staticcheck: owned(<role>)`",
+                    trace=self._site_trace(info),
+                )
+
+    def _anchor(self, info: FieldOwnership) -> AccessSite | None:
+        """Report at the first unlocked write (the publication bug),
+        falling back to the first unlocked site."""
+        for site in sorted(info.sites, key=lambda s: (s.line, s.column)):
+            if site.kind == "write" and not site.held:
+                return site
+        for site in sorted(info.sites, key=lambda s: (s.line, s.column)):
+            if not site.held:
+                return site
+        return min(info.sites, key=lambda s: (s.line, s.column),
+                   default=None)
+
+
+@register_deep
+class ThreadEscapeRule(_OwnershipRuleBase):
+    """OWN002 — ``self`` published to other threads without a sync point."""
+
+    rule_id = "OWN002"
+    summary = ("an object with thread-owned state must not be stored "
+               "into a module global outside __init__ with no lock "
+               "held — that publishes it to every thread without a "
+               "publication point (extends PUB001 past construction)")
+    default_severity = Severity.ERROR
+    waiver = ("atomic(<witness>) on the store, naming the publication "
+              "point (an outer mutex, a happens-before edge)")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        from repro.staticcheck.dataflow import attr_flows_for
+
+        analyzer = attr_flows_for(deep, config)
+        for qualname, ownership, result in self._scoped_classes(deep,
+                                                                config):
+            module = ownership.decl.module
+            unshared = sorted(
+                attr for attr, info in ownership.fields.items()
+                if info.classification in ("exclusive",
+                                           "shared-unsynchronized"))
+            if not unshared:
+                continue
+            for method_fq in sorted(ownership.decl.methods.values()):
+                method = deep.project.functions.get(method_fq)
+                if method is None or method.name == "__init__":
+                    continue  # __init__ escapes are PUB001's
+                for line, column, note in _global_stores(method):
+                    if _waived(module, line):
+                        continue
+                    if self._store_is_locked(analyzer, method_fq,
+                                             method, line):
+                        continue
+                    attrs = ", ".join(f"self.{a}" for a in unshared[:4])
+                    yield self.finding(
+                        module.path, line, column,
+                        f"thread escape: {note} from "
+                        f"{method.name}() with no lock held — the "
+                        f"{ownership.decl.name} becomes reachable by "
+                        f"every thread, but {attrs} "
+                        f"{'is' if len(unshared) == 1 else 'are'} "
+                        f"thread-owned with no common guard; publish "
+                        f"under a lock or waive with "
+                        f"`# staticcheck: atomic(<witness>)`",
+                        trace=[
+                            TraceEntry(module.path, line, method_fq,
+                                       note),
+                            *self._owned_field_trace(ownership, unshared),
+                        ],
+                    )
+
+    def _store_is_locked(self, analyzer: "object", method_fq: str,
+                         method: "object", line: int) -> bool:
+        """Whether any lock token is held at the storing line."""
+        import ast
+
+        node_method = method.node  # type: ignore[attr-defined]
+        for node in ast.walk(node_method):
+            if getattr(node, "lineno", None) != line:
+                continue
+            if not isinstance(node, ast.Assign):
+                continue
+            held = analyzer.held_at(  # type: ignore[attr-defined]
+                method_fq, node)
+            return bool(held)
+        return False
+
+    def _owned_field_trace(self, ownership: ClassOwnership,
+                           attrs: list[str]) -> list[TraceEntry]:
+        entries: list[TraceEntry] = []
+        for attr in attrs[:2]:
+            info = ownership.fields[attr]
+            roles = ", ".join(info.roles) or MAIN_ROLE
+            site = min(info.sites, key=lambda s: (s.line, s.column),
+                       default=None)
+            if site is None:
+                continue
+            entries.append(TraceEntry(
+                path=site.path, line=site.line, function=site.function,
+                note=f"self.{attr} is {info.classification} "
+                     f"[{roles}] here"))
+        return entries
+
+
+@register_deep
+class OwnershipDriftRule(_OwnershipRuleBase):
+    """OWN003 — ``owned``/``shared`` annotations vs the inferred map."""
+
+    rule_id = "OWN003"
+    summary = ("`owned(<role>)` / `shared(<lock>)` annotations must "
+               "match the inferred ownership map — a stale claim "
+               "silences real races (LCK001 and the runtime witness "
+               "trust it)")
+    default_severity = Severity.ERROR
+    waiver = ("none: fix the annotation or the code — drift is the "
+              "finding")
+
+    def check_project(self, deep: DeepContext,
+                      config: StaticcheckConfig) -> Iterable[Finding]:
+        for qualname, ownership, result in self._scoped_classes(deep,
+                                                                config):
+            module = ownership.decl.module
+            for attr in sorted(ownership.fields):
+                info = ownership.fields[attr]
+                line = info.annotation_line or 1
+                if info.declared_owner is not None:
+                    yield from self._check_owned(module, ownership,
+                                                 info, result, line)
+                if info.declared_shared:
+                    yield from self._check_shared(module, ownership,
+                                                  info, line)
+
+    def _check_owned(self, module: "object", ownership: ClassOwnership,
+                     info: FieldOwnership, result: OwnershipResult,
+                     line: int) -> Iterable[Finding]:
+        path = ownership.decl.module.path
+        role = info.declared_owner
+        assert role is not None
+        known = role == MAIN_ROLE or role in result.roles
+        if not known:
+            names = ", ".join([MAIN_ROLE, *sorted(result.roles)])
+            yield self.finding(
+                path, line, 0,
+                f"ownership drift: self.{info.attr} is annotated "
+                f"`owned({role})` but no thread-start site declares a "
+                f"role named {role!r} (known roles: {names}) — fix the "
+                f"role name or remove the annotation")
+            return
+        foreign = [r for r in info.roles if r != role]
+        if info.classification in ("exclusive", "handoff") and not foreign:
+            return
+        if not foreign:
+            return
+        roles = ", ".join(info.roles)
+        yield self.finding(
+            path, line, 0,
+            f"ownership drift: self.{info.attr} is annotated "
+            f"`owned({role})` but the inferred map classifies it "
+            f"{info.classification} with roles [{roles}] — the field "
+            f"is no longer single-role; guard it (and annotate "
+            f"`shared(<lock>)`) or restore exclusive ownership",
+            trace=self._site_trace(info),
+        )
+
+    def _check_shared(self, module: "object", ownership: ClassOwnership,
+                      info: FieldOwnership,
+                      line: int) -> Iterable[Finding]:
+        path = ownership.decl.module.path
+        if info.classification != "guarded" or info.guard is None:
+            return
+        # Every lock attr held at ALL accesses: the declared lock only
+        # drifts when it is in none of them (holding a second, outer
+        # lock alongside the declared one is fine).
+        common: set[str] | None = None
+        for site in info.sites:
+            held = set(site.held)
+            common = held if common is None else (common & held)
+        common_attrs = {token.rsplit(".", 1)[-1] for token in common or ()}
+        wraps = ownership.decl.condition_wraps
+        declared = {wraps.get(arg, arg) for arg in info.declared_shared}
+        if declared & common_attrs:
+            return
+        guard_attr = info.guard.rsplit(".", 1)[-1]
+        args = ", ".join(info.declared_shared)
+        yield self.finding(
+            path, line, 0,
+            f"ownership drift: self.{info.attr} is annotated "
+            f"`shared({args})` but every cross-thread access actually "
+            f"holds self.{guard_attr} — the annotation names the wrong "
+            f"lock, so LCK001 is policing a guard nobody uses; update "
+            f"it to `shared({guard_attr})`",
+            trace=self._site_trace(info),
+        )

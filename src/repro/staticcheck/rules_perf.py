@@ -252,6 +252,8 @@ class HotPathAllocationRule(_PerfRule):
     rule_id = "PRF001"
     summary = ("no per-call object/dict/list allocation in a hot path; "
                "reuse, hoist, or waive with allocfree(<witness>)")
+    waiver = ("allocfree(<witness>) on the line, naming why the allocation"
+              " is amortized or unavoidable")
 
     def check_project(self, deep: DeepContext,
                       config: StaticcheckConfig) -> Iterable[Finding]:
@@ -281,6 +283,8 @@ class HotLoopLookupRule(_PerfRule):
     rule_id = "PRF002"
     summary = ("no repeated attribute-chain lookups inside hot loops; "
                "bind the chain to a local before the loop")
+    waiver = ("allocfree(<witness>) on the loop, or bind the chain to a"
+              " local before it")
 
     def check_project(self, deep: DeepContext,
                       config: StaticcheckConfig) -> Iterable[Finding]:
@@ -352,6 +356,8 @@ class HotPathFormattingRule(_PerfRule):
     rule_id = "PRF003"
     summary = ("no f-string/logging/str-format work in hot paths "
                "unless guarded by a level check or on an error path")
+    waiver = ("guard with a level check, move to an error path, or"
+              " allocfree(<witness>)")
 
     def check_project(self, deep: DeepContext,
                       config: StaticcheckConfig) -> Iterable[Finding]:
@@ -382,6 +388,8 @@ class HotPathClockReadRule(_PerfRule):
     rule_id = "PRF004"
     summary = ("no per-row wall-clock reads in hot paths; capture the "
                "timestamp once per statement and reuse it")
+    waiver = ("allocfree(<witness>) naming the batching that makes the"
+              " read per-statement, not per-row")
 
     def check_project(self, deep: DeepContext,
                       config: StaticcheckConfig) -> Iterable[Finding]:
@@ -440,6 +448,8 @@ class HotLockWorkRule(_PerfRule):
     rule_id = "PRF005"
     summary = ("no allocation or formatting work while holding an "
                "engine lock in a hot path; shrink the critical section")
+    waiver = ("allocfree(<witness>) on the line, or shrink the critical"
+              " section")
 
     def check_project(self, deep: DeepContext,
                       config: StaticcheckConfig) -> Iterable[Finding]:

@@ -1,0 +1,38 @@
+"""The ownership-clean twin of ``ownership_violation.py``.
+
+Same worker-thread shape, every OWN rule satisfied: the cross-thread
+counters hold one lock everywhere and say so with ``shared(<lock>)``,
+the worker-only field's ``owned(<role>)`` claim matches the inferred
+map, and publication happens under the lock (waived with a named
+witness where the serialization is external).
+"""
+
+import threading
+
+REGISTRY = {}
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.progress = 0  # staticcheck: shared(_lock)
+        self.scratch = 0  # staticcheck: owned(fixture-worker)
+        self.config = {"poll_s": 1.0}
+        self._thread = threading.Thread(
+            target=self._run, name="fixture-worker")
+
+    def start(self):
+        self._thread.start()
+
+    def _run(self):
+        self.scratch += 1
+        with self._lock:
+            self.progress += 1
+
+    def publish(self):
+        with self._lock:
+            REGISTRY["worker"] = self
+
+    def poll(self):
+        with self._lock:
+            return self.progress

@@ -1,0 +1,48 @@
+"""Deliberate thread-ownership violations (lines pinned in tests).
+
+One worker role (``fixture-worker``) started in ``__init__``; every
+OWN rule fires exactly once:
+
+* OWN001 — ``progress`` is written by the worker and read by main
+  with no lock anywhere.
+* OWN002 — ``publish`` stores ``self`` into a module-level registry
+  outside ``__init__`` with no lock held.
+* OWN003 — ``mode`` claims ``owned(main)`` but the worker writes it;
+  ``badrole`` names a role no thread-start site declares; ``counter``
+  claims ``shared(_lock_a)`` but every access holds ``_lock_b``.
+"""
+
+import threading
+
+REGISTRY = {}
+
+
+class Worker:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.progress = 0
+        self.mode = "idle"  # staticcheck: owned(main)
+        self.badrole = 0  # staticcheck: owned(bogus-role)
+        self.counter = 0  # staticcheck: shared(_lock_a)
+        self._thread = threading.Thread(
+            target=self._run, name="fixture-worker")
+
+    def start(self):
+        self._thread.start()
+
+    def _run(self):
+        self.progress += 1
+        self.mode = "running"
+        with self._lock_b:
+            self.counter += 1
+
+    def publish(self):
+        REGISTRY["worker"] = self
+
+    def poll(self):
+        return self.progress + self.badrole
+
+    def snapshot(self):
+        with self._lock_b:
+            return self.counter

@@ -1,0 +1,204 @@
+"""The runtime access witness and its static↔runtime cross-check,
+including a small witnessed chaos soak (the CI gate in miniature)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.accesswitness import (
+    AccessCounts,
+    AccessWitness,
+    cross_check_access,
+    normalize_role,
+    static_ownership_map,
+)
+
+
+class Probe:
+    def __init__(self):
+        self.counter = 0
+        self.label = "idle"
+
+
+def _map(classification: str, roles: list[str],
+         token_cls: str = "demo.Probe", attr: str = "counter") -> dict:
+    return {"classes": {token_cls: {"fields": {
+        attr: {"classification": classification, "roles": roles},
+    }}}}
+
+
+class TestWitness:
+    def test_instrument_counts_reads_and_writes_per_thread(self):
+        witness = AccessWitness()
+        probe = Probe()
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+        probe.counter += 1  # one read + one write
+        _ = probe.counter
+        observed = witness.observed()
+        counts = observed["demo.Probe.counter"]["MainThread"]
+        assert counts.reads == 2
+        assert counts.writes == 1
+
+    def test_untracked_fields_are_not_recorded(self):
+        witness = AccessWitness()
+        probe = Probe()
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+        probe.label = "busy"
+        assert "demo.Probe.label" not in witness.observed()
+
+    def test_threads_are_recorded_under_their_names(self):
+        witness = AccessWitness()
+        probe = Probe()
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+
+        def bump():
+            probe.counter += 1
+
+        worker = threading.Thread(target=bump, name="demo-worker")
+        worker.start()
+        worker.join()
+        observed = witness.observed()["demo.Probe.counter"]
+        assert observed["demo-worker"].writes == 1
+
+    def test_reinstrumenting_is_a_noop(self):
+        witness = AccessWitness()
+        probe = Probe()
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+        first_cls = type(probe)
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+        assert type(probe) is first_cls
+
+    def test_read_sampling_thins_reads_not_writes(self):
+        witness = AccessWitness(sample_every=10)
+        probe = Probe()
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+        for _ in range(20):
+            _ = probe.counter
+        probe.counter = 1
+        counts = witness.observed()["demo.Probe.counter"]["MainThread"]
+        assert counts.reads == 2  # every 10th of 20
+        assert counts.writes == 1
+
+    def test_instrument_mapped_uses_the_static_token_namespace(self):
+        witness = AccessWitness()
+        probe = Probe()
+        qualname = f"{Probe.__module__}.{Probe.__qualname__}"
+        ownership_map = {"classes": {qualname: {"fields": {
+            "counter": {"classification": "guarded", "roles": ["main"]},
+        }}}}
+        assert witness.instrument_mapped(probe, ownership_map)
+        probe.counter = 5
+        assert f"{qualname}.counter" in witness.observed()
+
+    def test_instrument_mapped_unknown_class_is_false(self):
+        witness = AccessWitness()
+        assert not witness.instrument_mapped(Probe(), {"classes": {}})
+
+    def test_report_is_json_ready(self):
+        witness = AccessWitness()
+        probe = Probe()
+        witness.instrument(probe, ["counter"], token_prefix="demo.Probe")
+        probe.counter = 1
+        report = witness.report()
+        assert report["generated_by"] == "repro.core.accesswitness"
+        assert report["tokens"]["demo.Probe.counter"]["MainThread"] == {
+            "reads": 0, "writes": 1}
+
+    def test_normalize_role_maps_main_thread(self):
+        assert normalize_role("MainThread") == "main"
+        assert normalize_role("repro-storage-daemon") == \
+            "repro-storage-daemon"
+
+
+class TestCrossCheck:
+    def test_exclusive_field_seen_from_foreign_thread_contradicts(self):
+        observed = {"demo.Probe.counter": {
+            "MainThread": AccessCounts(reads=1),
+            "intruder": AccessCounts(writes=1),
+        }}
+        result = cross_check_access(observed, _map("exclusive", ["main"]))
+        assert not result.ok
+        assert "intruder" in result.contradictions[0]
+
+    def test_exclusive_field_seen_from_its_own_role_is_fine(self):
+        observed = {"demo.Probe.counter": {
+            "MainThread": AccessCounts(reads=1, writes=1)}}
+        result = cross_check_access(observed, _map("exclusive", ["main"]))
+        assert result.ok and not result.downgrade_candidates
+
+    def test_write_to_handoff_field_contradicts(self):
+        observed = {"demo.Probe.counter": {
+            "MainThread": AccessCounts(writes=1)}}
+        result = cross_check_access(observed, _map("handoff", ["main"]))
+        assert not result.ok
+        assert "handoff" in result.contradictions[0]
+
+    def test_read_of_handoff_field_is_fine(self):
+        observed = {"demo.Probe.counter": {
+            "worker": AccessCounts(reads=3)}}
+        result = cross_check_access(observed, _map("handoff",
+                                                   ["main", "worker"]))
+        assert result.ok
+
+    def test_single_threaded_shared_field_is_a_downgrade_candidate(self):
+        observed = {"demo.Probe.counter": {
+            "MainThread": AccessCounts(reads=2, writes=1)}}
+        result = cross_check_access(
+            observed, _map("guarded", ["main", "worker"]))
+        assert result.ok  # informational, not a failure
+        assert len(result.downgrade_candidates) == 1
+        assert "'main'" in result.downgrade_candidates[0]
+
+    def test_shared_field_seen_from_both_roles_is_not_flagged(self):
+        observed = {"demo.Probe.counter": {
+            "MainThread": AccessCounts(writes=1),
+            "worker": AccessCounts(reads=1),
+        }}
+        result = cross_check_access(
+            observed, _map("guarded", ["main", "worker"]))
+        assert result.ok and not result.downgrade_candidates
+
+    def test_unknown_token_is_reported_unmapped(self):
+        observed = {"demo.Ghost.x": {"MainThread": AccessCounts(reads=1)}}
+        result = cross_check_access(observed, {"classes": {}})
+        assert result.ok
+        assert result.unmapped == ["demo.Ghost.x"]
+
+    def test_to_json_shape(self):
+        result = cross_check_access({}, {"classes": {}})
+        assert result.to_json() == {
+            "ok": True, "contradictions": [],
+            "downgrade_candidates": [], "unmapped": []}
+
+
+class TestStaticRuntimeGate:
+    def test_witnessed_soak_has_no_ownership_contradictions(self):
+        """The CI gate in miniature: a short seeded soak with the
+        access witness on must observe nothing the static ownership
+        map rules out."""
+        from repro.chaos import SoakConfig, run_soak
+
+        ownership_map = static_ownership_map()
+        witness = AccessWitness()
+        run_soak(SoakConfig(seed=5, rounds=2, proteins=120),
+                 access_witness=witness, ownership_map=ownership_map)
+        observed = witness.observed()
+        assert observed, "the witness must have seen traffic"
+        result = cross_check_access(observed, ownership_map)
+        assert result.contradictions == []
+        assert result.unmapped == []
+
+    def test_daemon_probe_attributes_accesses_to_the_daemon_role(self):
+        from repro.chaos import SoakConfig, run_soak
+
+        ownership_map = static_ownership_map()
+        witness = AccessWitness()
+        run_soak(SoakConfig(seed=5, rounds=2, proteins=120),
+                 access_witness=witness, ownership_map=ownership_map)
+        daemon_threads = {
+            thread
+            for token, by_thread in witness.observed().items()
+            if token.startswith("repro.core.daemon.StorageDaemon.")
+            for thread in by_thread
+        }
+        assert "repro-storage-daemon" in daemon_threads

@@ -81,3 +81,48 @@ class TestGateRun:
         ]) == 0
         second = json.loads(output.read_text())
         assert second["previous"]["overhead_pct"] == first["overhead_pct"]
+
+
+class TestHistory:
+    def test_first_run_starts_a_one_entry_history(self):
+        result = {"overhead_pct": 9.5,
+                  "monitoring": {"seconds": 1.0, "sensor_avg_us": 5.0}}
+        bench_gate.append_history(result, None)
+        assert result["history"] == [
+            {"overhead_pct": 9.5, "monitoring_seconds": 1.0,
+             "sensor_avg_us": 5.0}]
+
+    def test_history_carries_forward_and_appends(self):
+        previous = {"history": [{"overhead_pct": 1.0}]}
+        result = {"overhead_pct": 2.0, "monitoring": {}}
+        bench_gate.append_history(result, previous)
+        assert [e["overhead_pct"] for e in result["history"]] == [1.0, 2.0]
+
+    def test_history_is_capped_oldest_out(self):
+        previous = {"history": [
+            {"overhead_pct": float(i)}
+            for i in range(bench_gate.HISTORY_LIMIT)]}
+        result = {"overhead_pct": 99.0, "monitoring": {}}
+        bench_gate.append_history(result, previous)
+        assert len(result["history"]) == bench_gate.HISTORY_LIMIT
+        assert result["history"][0]["overhead_pct"] == 1.0
+        assert result["history"][-1]["overhead_pct"] == 99.0
+
+    def test_gate_runs_accumulate_history_in_the_file(self, tmp_path):
+        output = tmp_path / "bench.json"
+        for _ in range(2):
+            assert bench_gate.main([
+                "--proteins", "20", "--statements", "64", "--repeats", "1",
+                "--output", str(output), "--no-check",
+            ]) == 0
+        written = json.loads(output.read_text())
+        assert len(written["history"]) == 2
+        assert written["history"][-1]["overhead_pct"] == \
+            written["overhead_pct"]
+
+    def test_committed_artifact_carries_history(self):
+        committed = json.loads(
+            (Path(__file__).parent.parent / "BENCH_fig4.json").read_text())
+        assert committed["history"]
+        assert committed["history"][-1]["overhead_pct"] == \
+            committed["overhead_pct"]

@@ -1,0 +1,477 @@
+"""Tests for the thread-ownership phase: role inference and
+propagation (virtual dispatch, bound methods, chained attribute
+typing), the field classifier, the OWN001–OWN003 rules over the
+fixture pair, the ownership-map artifact and its CLI, SARIF output,
+and ``--changed`` invalidation for ownership-directive edits."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import (
+    StaticcheckConfig,
+    analyze_project,
+    build_project,
+    compute_ownership_map,
+    render_sarif,
+)
+from repro.staticcheck.cli import main as lint_main
+from repro.staticcheck.driver import ModuleContext
+from repro.staticcheck.lockflow import DeepContext, LockFlow
+from repro.staticcheck.ownership import (
+    compute_ownership,
+    thread_start_paths,
+    thread_start_sites,
+)
+
+FIXTURES = Path(__file__).parent / "staticcheck_fixtures"
+
+OWN_CONFIG = StaticcheckConfig(
+    ownership_scope_paths=("*ownership_violation.py",
+                           "*ownership_clean.py",
+                           "*demo_own.py"),
+)
+
+
+def own_findings(path: Path):
+    findings = analyze_project([path], OWN_CONFIG)
+    return [f for f in findings if f.rule_id.startswith("OWN")]
+
+
+def ownership_of(*sources: tuple[str, str],
+                 config: StaticcheckConfig = OWN_CONFIG):
+    modules = [ModuleContext.from_source(path, text)
+               for path, text in sources]
+    project = build_project(modules)
+    deep = DeepContext(project=project,
+                       lockflow=LockFlow(project, config).analyze())
+    return project, compute_ownership(deep, config)
+
+
+WORKER = """
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = 0
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        self.step()
+
+    def step(self):
+        with self._lock:
+            self.jobs += 1
+
+    def read_main(self):
+        with self._lock:
+            return self.jobs
+"""
+
+
+class TestRoleInference:
+    def test_thread_start_site_names_the_role(self):
+        project, result = ownership_of(("src/repro/demo_own.py", WORKER))
+        sites = thread_start_sites(project)
+        assert [s.role for s in sites] == ["demo-worker"]
+        assert sites[0].target == "repro.demo_own.Worker._run"
+
+    def test_roles_propagate_along_call_edges(self):
+        project, result = ownership_of(("src/repro/demo_own.py", WORKER))
+        assert "demo-worker" in \
+            result.roles_of("repro.demo_own.Worker._run")
+        assert "demo-worker" in \
+            result.roles_of("repro.demo_own.Worker.step")
+
+    def test_unreached_functions_default_to_main(self):
+        project, result = ownership_of(("src/repro/demo_own.py", WORKER))
+        assert result.roles_of("repro.demo_own.Worker.read_main") == \
+            frozenset({"main"})
+
+    def test_provenance_is_a_chain_from_the_start_site(self):
+        project, result = ownership_of(("src/repro/demo_own.py", WORKER))
+        chain = result.provenance["repro.demo_own.Worker.step"][
+            "demo-worker"]
+        assert "starts thread 'demo-worker'" in chain[0].note
+        assert chain[-1].note.endswith("Worker.step()")
+
+    def test_virtual_dispatch_reaches_overrides(self):
+        source = """
+import threading
+
+class Base:
+    def fire(self):
+        pass
+
+class Impl(Base):
+    def fire(self):
+        self.count = getattr(self, "count", 0) + 1
+
+class Driver:
+    def __init__(self, sink: Base):
+        self.sink = sink
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        self.sink.fire()
+"""
+        project, result = ownership_of(("src/repro/demo_own.py", source))
+        assert "demo-worker" in \
+            result.roles_of("repro.demo_own.Base.fire")
+        assert "demo-worker" in \
+            result.roles_of("repro.demo_own.Impl.fire")
+
+    def test_bound_method_attributes_produce_call_edges(self):
+        source = """
+import threading
+
+class Sink:
+    def record(self):
+        pass
+
+class Driver:
+    def __init__(self, sink: Sink):
+        self._record = sink.record
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        self._record()
+"""
+        project, result = ownership_of(("src/repro/demo_own.py", source))
+        assert "demo-worker" in \
+            result.roles_of("repro.demo_own.Sink.record")
+
+    def test_chained_attribute_locals_type_through_each_hop(self):
+        source = """
+import threading
+
+class Sensors:
+    def fire(self):
+        pass
+
+class Engine:
+    def __init__(self, sensors: Sensors | None = None):
+        self.sensors = sensors or Sensors()
+
+class Session:
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        sensors = self.engine.sensors
+        sensors.fire()
+"""
+        project, result = ownership_of(("src/repro/demo_own.py", source))
+        assert "demo-worker" in \
+            result.roles_of("repro.demo_own.Sensors.fire")
+
+    def test_thread_start_paths_lists_the_starting_files(self):
+        project, _ = ownership_of(("src/repro/demo_own.py", WORKER))
+        assert thread_start_paths(project) == {"src/repro/demo_own.py"}
+
+
+class TestClassifier:
+    def _fields(self, source: str):
+        project, result = ownership_of(("src/repro/demo_own.py", source))
+        return result.classes["repro.demo_own.Worker"].fields
+
+    def test_guarded_when_one_lock_covers_every_site(self):
+        fields = self._fields(WORKER)
+        jobs = fields["jobs"]
+        assert jobs.classification == "guarded"
+        assert jobs.guard == "repro.demo_own.Worker._lock"
+        assert jobs.roles == ("demo-worker", "main")
+
+    def test_handoff_exclusive_and_shared_unsynchronized(self):
+        source = """
+import threading
+
+class Worker:
+    def __init__(self):
+        self.config = {}
+        self.scratch = 0
+        self.racy = 0
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        self.scratch += 1
+        self.racy += 1
+
+    def read_main(self):
+        return (self.config, self.racy)
+"""
+        fields = self._fields(source)
+        assert fields["config"].classification == "handoff"
+        assert fields["scratch"].classification == "exclusive"
+        assert fields["scratch"].roles == ("demo-worker",)
+        assert fields["racy"].classification == "shared-unsynchronized"
+
+    def test_lock_attributes_classify_synchronized(self):
+        fields = self._fields(WORKER)
+        assert fields["_lock"].classification == "synchronized"
+
+    def test_mutator_calls_delegate_to_synchronized_classes(self):
+        source = """
+import threading
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def append(self, item):
+        with self._lock:
+            self._items.append(item)
+
+class Worker:
+    def __init__(self):
+        self.buffer = Buffer()
+        self.plain = []
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        self.buffer.append(1)
+        self.plain.append(1)
+
+    def read_main(self):
+        return (self.buffer, self.plain)
+"""
+        fields = self._fields(source)
+        # The delegate carries its own lock: appending through it is
+        # not a write of the binding (matches the access witness).
+        assert fields["buffer"].classification == "handoff"
+        # A bare list mutated cross-thread stays a write site.
+        assert fields["plain"].classification == "shared-unsynchronized"
+
+    def test_construction_only_fields_are_not_monitored(self):
+        source = """
+import threading
+
+class Worker:
+    def __init__(self):
+        self.initial = 7
+        self._thread = threading.Thread(
+            target=self._run, name="demo-worker")
+
+    def _run(self):
+        pass
+"""
+        _, result = ownership_of(("src/repro/demo_own.py", source))
+        # Every field is written only during construction: the class
+        # has no monitored state at all.
+        assert "repro.demo_own.Worker" not in result.classes
+
+
+class TestFixturePair:
+    def test_violation_fixture_hits_every_rule(self):
+        findings = own_findings(FIXTURES / "ownership_violation.py")
+        assert [(f.rule_id, f.line) for f in findings] == [
+            ("OWN003", 25),
+            ("OWN003", 26),
+            ("OWN003", 27),
+            ("OWN001", 35),
+            ("OWN002", 41),
+        ]
+
+    def test_own001_names_roles_and_carries_site_trace(self):
+        findings = own_findings(FIXTURES / "ownership_violation.py")
+        own001 = next(f for f in findings if f.rule_id == "OWN001")
+        assert "fixture-worker" in own001.message
+        assert "self.progress" in own001.message
+        notes = [entry.note for entry in own001.trace]
+        assert any("with no lock held" in note for note in notes)
+
+    def test_own003_distinguishes_its_three_drifts(self):
+        findings = own_findings(FIXTURES / "ownership_violation.py")
+        messages = [f.message for f in findings if f.rule_id == "OWN003"]
+        assert any("`owned(main)`" in m for m in messages)
+        assert any("no thread-start site declares a role named "
+                   "'bogus-role'" in m for m in messages)
+        assert any("`shared(_lock_a)`" in m and "_lock_b" in m
+                   for m in messages)
+
+    def test_own002_points_at_the_escape_and_the_owned_state(self):
+        findings = own_findings(FIXTURES / "ownership_violation.py")
+        own002 = next(f for f in findings if f.rule_id == "OWN002")
+        assert "REGISTRY" in own002.trace[0].note
+        assert any("self.progress" in entry.note
+                   for entry in own002.trace[1:])
+
+    def test_clean_fixture_is_silent(self):
+        assert own_findings(FIXTURES / "ownership_clean.py") == []
+
+    def test_out_of_scope_modules_never_report(self):
+        narrow = StaticcheckConfig(
+            ownership_scope_paths=("*no/such/path.py",))
+        findings = analyze_project(
+            [FIXTURES / "ownership_violation.py"], narrow)
+        assert [f for f in findings if f.rule_id.startswith("OWN")] == []
+
+
+class TestOwnershipMap:
+    def test_map_covers_the_monitored_subsystems(self):
+        result = compute_ownership_map(paths=["src/repro"])
+        payload = result.to_json()
+        assert payload["version"] == 1
+        classes = payload["classes"]
+        for required in (
+            "repro.core.daemon.StorageDaemon",
+            "repro.core.monitor.IntegratedMonitor",
+            "repro.core.autopilot.AutonomousTuner",
+            "repro.core.watchdog.WatchdogMonitor",
+        ):
+            assert required in classes, required
+        roles = payload["roles"]
+        assert "repro-storage-daemon" in roles
+        assert "repro-autonomous-tuner" in roles
+
+    def test_map_reflects_the_monitor_sensor_dispatch(self):
+        # The daemon's poll path reaches the monitor through
+        # engine.sensors: the counters must carry the daemon role and
+        # their lock, or the runtime witness contradicts the map.
+        result = compute_ownership_map(paths=["src/repro"])
+        fields = result.to_json()["classes"][
+            "repro.core.monitor.IntegratedMonitor"]["fields"]
+        assert fields["sensor_calls"]["classification"] == "guarded"
+        assert "repro-storage-daemon" in fields["sensor_calls"]["roles"]
+
+    def test_field_entries_carry_sites_and_declarations(self):
+        result = compute_ownership_map(
+            paths=[str(FIXTURES / "ownership_violation.py")])
+        fields = result.to_json()["classes"][
+            "ownership_violation.Worker"]["fields"]
+        counter = fields["counter"]
+        assert counter["declared_shared"] == ["_lock_a"]
+        assert counter["guard"].endswith("._lock_b")
+        assert counter["reads"] >= 1 and counter["writes"] >= 1
+        assert fields["mode"]["declared_owner"] == "main"
+
+
+class TestCli:
+    def test_ownership_map_to_stdout(self, capsys):
+        code = lint_main(
+            ["--ownership-map",
+             str(FIXTURES / "ownership_violation.py")])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 5
+        assert "ownership_violation.Worker" in \
+            payload["ownership"]["classes"]
+
+    def test_ownership_map_to_file(self, tmp_path, capsys):
+        target = tmp_path / "map.json"
+        code = lint_main(
+            [str(FIXTURES / "ownership_clean.py"),
+             "--ownership-map", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert "ownership_clean.Worker" in payload["ownership"]["classes"]
+        assert "written to" in capsys.readouterr().out
+
+    def test_list_rules_documents_own_rules_and_grammar(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("OWN001", "OWN002", "OWN003"):
+            assert rule_id in out
+        assert "waiver:" in out
+        assert "owned" in out and "shared" in out
+        assert "annotation grammar" in out
+
+    def test_sarif_format_renders_findings(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.staticcheck]\n"
+            'ownership_scope_paths = ["*ownership_violation.py"]\n')
+        target = tmp_path / "ownership_violation.py"
+        target.write_text(
+            (FIXTURES / "ownership_violation.py").read_text())
+        code = lint_main([str(target), "--deep", "--format", "sarif"])
+        assert code == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rule_ids = {rule["id"]
+                    for rule in run["tool"]["driver"]["rules"]}
+        assert {"OWN001", "OWN002", "OWN003"} <= rule_ids
+        results = run["results"]
+        assert any(r["ruleId"] == "OWN001" for r in results)
+        own002 = next(r for r in results if r["ruleId"] == "OWN002")
+        assert own002["relatedLocations"]
+
+    def test_sarif_of_clean_tree_is_empty_and_exits_zero(self, capsys):
+        code = lint_main([str(FIXTURES / "ownership_clean.py"),
+                          "--format", "sarif"])
+        assert code == 0
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["runs"][0]["results"] == []
+
+    def test_render_sarif_roundtrips_loaded_findings(self):
+        findings = own_findings(FIXTURES / "ownership_violation.py")
+        sarif = json.loads(render_sarif(findings))
+        results = sarif["runs"][0]["results"]
+        assert len(results) == len(findings)
+        for result, finding in zip(results, findings):
+            location = result["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] == finding.line
+
+
+class TestChangedInvalidation:
+    def test_ownership_directive_edit_seeds_forward_dependents(
+            self, tmp_path, capsys, monkeypatch):
+        """Editing only an ``owned()`` annotation must re-analyze the
+        files the annotated module calls into: roles flow caller →
+        callee, so the callee's classification can change while its
+        content does not."""
+        src = tmp_path / "proj"
+        src.mkdir()
+        caller = src / "caller.py"
+        callee = src / "callee.py"
+        caller.write_text(
+            "import threading\n"
+            "from callee import tick\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self.state = 0  # staticcheck: owned(main)\n"
+            "        self._t = threading.Thread(target=self._run,\n"
+            "                                   name='w')\n"
+            "    def _run(self):\n"
+            "        tick()\n"
+            "    def read(self):\n"
+            "        return self.state\n")
+        callee.write_text("import time\n"
+                          "def tick():\n"
+                          "    time.time()\n")
+        import repro.staticcheck.cli as cli_module
+        monkeypatch.setattr(cli_module, "git_changed_files",
+                            lambda: {str(caller)})
+        from repro.staticcheck.cli import _changed_targets
+        targets = _changed_targets([str(src)])
+        assert str(caller) in targets
+        assert str(callee) in targets
+
+    def test_plain_edit_does_not_drag_callees_in(
+            self, tmp_path, monkeypatch):
+        src = tmp_path / "proj"
+        src.mkdir()
+        caller = src / "caller.py"
+        callee = src / "callee.py"
+        caller.write_text("from callee import tick\n"
+                          "def go():\n"
+                          "    tick()\n")
+        callee.write_text("def tick():\n"
+                          "    pass\n")
+        import repro.staticcheck.cli as cli_module
+        monkeypatch.setattr(cli_module, "git_changed_files",
+                            lambda: {str(caller)})
+        from repro.staticcheck.cli import _changed_targets
+        targets = _changed_targets([str(src)])
+        assert str(caller) in targets
+        assert str(callee) not in targets
