@@ -1,0 +1,454 @@
+"""Standing benchmark gate: the figure-4 trivial-statement flood.
+
+Every PR runs this in CI.  It measures the *Original* vs *Monitoring*
+engine builds on the 1m-class point-query flood (the cell where the
+sensor constant dominates), writes the numbers to ``BENCH_fig4.json``
+at the repo root, and fails only when the monitoring overhead regressed
+by more than :data:`REGRESSION_TOLERANCE` relative to the committed
+previous file — so the perf trajectory of the hot path is a reviewed,
+versioned artifact instead of a folklore number in a doc.  Each run
+also appends a one-line summary to the file's ``history`` array
+(capped at :data:`HISTORY_LIMIT`), so the last N landed baselines are
+visible in one diff.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench            # measure + gate
+    PYTHONPATH=src python -m repro.bench --no-check # measure only
+    PYTHONPATH=src python -m repro.bench --update   # rewrite JSON
+
+(``benchmarks/bench_gate.py`` remains as a thin wrapper over this
+module, so existing CI entry points keep working.)
+
+The measurement runs both builds in this process (fresh engines each)
+with a warmup pass that also warms the statement cache the way the
+paper's repeated floods do.  The two builds alternate in *chunks* of a
+few hundred statements inside every round, so a CPU burst on a shared
+container lands on both builds in nearly equal measure; the overhead is
+the **median of per-round paired ratios** over those chunk-interleaved
+rounds.  (Best-of-N per build measured 1.8%–45% overhead spread on a
+noisy container; whole-round pairing still swung −14%–+38% when a burst
+fell between the two runs of a round; chunk interleaving is what makes
+the ratio reproducible.)
+
+The gate also measures a **concurrency axis**: the same paired
+original-vs-monitoring ratio driven by :class:`~repro.workloads.driver.
+ThreadedDriver` at :data:`CONCURRENCY_SESSIONS` concurrent sessions
+(the monitoring build sharded one shard per session).  The check fails
+when the many-session overhead exceeds :data:`CONCURRENCY_LIMIT_RATIO`
+times the single-session overhead — the regression the sharded monitor
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import statistics
+import sys
+
+from repro.config import EngineConfig, MonitorConfig
+from repro.core.sharding import SHARD_STRIDE
+from repro.setups import Setup, monitoring_setup, original_setup
+from repro.workloads import (
+    NrefScale,
+    ThreadedDriver,
+    WorkloadRunner,
+    load_nref,
+    point_query_statements,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+RESULT_PATH = REPO_ROOT / "BENCH_fig4.json"
+
+#: Relative tolerance on the overhead percentage before the gate fails:
+#: new_overhead_pct may be at most (1 + tol) * previous + floor.  The
+#: absolute floor absorbs timer jitter when overheads are small.
+REGRESSION_TOLERANCE = 0.15
+REGRESSION_FLOOR_PCT = 3.0
+
+#: Runs kept in the committed ``history`` array.  Each gate run appends
+#: a one-line summary of itself, so the JSON diff shows the overhead
+#: trajectory over the last N landed PRs, not just the previous one.
+HISTORY_LIMIT = 20
+
+#: CI-scale knobs (the full fig4 suite runs the larger cells; the gate
+#: only needs the trivial flood where sensor cost is the signal).
+DEFAULT_PROTEINS = 500
+DEFAULT_STATEMENTS = 4000
+DEFAULT_REPEATS = 3
+
+#: Statements per interleaving slice.  Small enough that scheduler
+#: bursts (tens of milliseconds) hit both builds, large enough that the
+#: per-chunk bookkeeping cost stays invisible.
+CHUNK_STATEMENTS = 250
+
+#: Session counts of the concurrency axis (ascending; the first is the
+#: single-session baseline, the last carries the gate check).
+CONCURRENCY_SESSIONS = (1, 4, 16)
+
+#: The many-session overhead may be at most this multiple of the
+#: single-session overhead (plus the jitter floor).
+CONCURRENCY_LIMIT_RATIO = 1.5
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _build(kind: str, scale: NrefScale,
+           shard_count: int = 1) -> Setup:
+    if kind == "original":
+        setup = original_setup()
+    elif shard_count > 1:
+        config = EngineConfig(
+            monitor=MonitorConfig(shard_count=shard_count))
+        setup = monitoring_setup(config)
+    else:
+        setup = monitoring_setup()
+    setup.engine.create_database("nref")
+    load_nref(setup.engine.database("nref"), scale)
+    return setup
+
+
+class _Bench:
+    """One engine build plus the state its best round left behind."""
+
+    def __init__(self, kind: str, scale: NrefScale,
+                 statements: list[str]) -> None:
+        self.kind = kind
+        self.setup = _build(kind, scale)
+        self.session = self.setup.engine.connect("nref")
+        self.runner = WorkloadRunner(self.session, keep_per_statement=True)
+        self.runner.run(statements[: max(1, len(statements) // 20)])
+        self.rounds: list[float] = []
+        self.best_seconds = float("inf")
+        self.best_per_statement: list[float] = []
+        self.best_statements = 0
+        self.sensor_calls = 0
+        self.sensor_time_s = 0.0
+        self._round_seconds = 0.0
+        self._round_per_statement: list[float] = []
+        self._round_statements = 0
+
+    def begin_round(self) -> None:
+        monitor = self.setup.monitor
+        if monitor is not None:
+            monitor.reset_counters()
+        self._round_seconds = 0.0
+        self._round_per_statement = []
+        self._round_statements = 0
+
+    def run_chunk(self, statements: list[str]) -> None:
+        report = self.runner.run(statements)
+        self._round_seconds += report.total_wallclock_s
+        self._round_per_statement.extend(report.per_statement_s)
+        self._round_statements += report.statements
+
+    def end_round(self) -> None:
+        self.rounds.append(self._round_seconds)
+        if self._round_seconds < self.best_seconds:
+            self.best_seconds = self._round_seconds
+            self.best_per_statement = self._round_per_statement
+            self.best_statements = self._round_statements
+            monitor = self.setup.monitor
+            if monitor is not None:
+                self.sensor_calls = monitor.sensor_calls
+                self.sensor_time_s = monitor.sensor_time_s
+
+    def result(self) -> dict:
+        per_statement = self.best_per_statement
+        result = {
+            "seconds": round(self.best_seconds, 6),
+            "statements": self.best_statements,
+            "p50_us": round(_percentile(per_statement, 0.50) * 1e6, 3),
+            "p95_us": round(_percentile(per_statement, 0.95) * 1e6, 3),
+            "mean_us": round(statistics.fmean(per_statement) * 1e6, 3)
+            if per_statement else 0.0,
+        }
+        if self.kind == "monitoring":
+            calls, spent = self.sensor_calls, self.sensor_time_s
+            result["sensor_calls"] = calls
+            result["sensor_time_s"] = round(spent, 6)
+            result["sensor_avg_us"] = round(
+                spent / calls * 1e6, 3) if calls else 0.0
+            result["sensor_share_pct"] = round(
+                spent / self.best_seconds * 100.0, 2) \
+                if self.best_seconds else 0.0
+        return result
+
+
+def run_gate(proteins: int, statement_count: int, repeats: int) -> dict:
+    scale = NrefScale(proteins=proteins)
+    statements = point_query_statements(statement_count, scale)
+    # The two builds alternate per chunk: a scheduler burst lands on
+    # both sides in nearly equal measure, so the per-round ratio
+    # survives container noise that absolute times do not.
+    benches = [_Bench("original", scale, statements),
+               _Bench("monitoring", scale, statements)]
+    for _attempt in range(repeats):
+        for bench in benches:
+            bench.begin_round()
+        for start in range(0, len(statements), CHUNK_STATEMENTS):
+            chunk = statements[start:start + CHUNK_STATEMENTS]
+            for bench in benches:
+                bench.run_chunk(chunk)
+        for bench in benches:
+            bench.end_round()
+    original = benches[0].result()
+    monitoring = benches[1].result()
+    for bench in benches:
+        bench.session.close()
+    round_overheads = [
+        round((mon - orig) / orig * 100.0, 2)
+        for orig, mon in zip(benches[0].rounds, benches[1].rounds)
+    ]
+    overhead_pct = statistics.median(round_overheads)
+    return {
+        "bench": "fig4_trivial_flood",
+        "generated_by": "repro.bench",
+        "config": {
+            "proteins": proteins,
+            "statements": statement_count,
+            "repeats": repeats,
+        },
+        "original": original,
+        "monitoring": monitoring,
+        "overhead_pct": round(overhead_pct, 2),
+        "overhead_rounds_pct": round_overheads,
+    }
+
+
+# -- the concurrency axis --------------------------------------------------
+
+
+def run_concurrency(proteins: int, statement_count: int, repeats: int,
+                    session_counts: tuple[int, ...] = CONCURRENCY_SESSIONS,
+                    ) -> dict:
+    """Paired original/monitoring passes at each session count.
+
+    ``statement_count`` is the total per pass, split evenly across the
+    sessions (each session gets its own RNG stream so the id rotations
+    differ).  The monitoring build runs one monitor shard per session.
+    Every round interleaves both builds AND every session count —
+    the gate compares points against each other, so machine drift must
+    land evenly across the whole axis, not on whichever session count
+    happened to be measured last.
+    """
+    scale = NrefScale(proteins=proteins)
+    arms: list[dict] = []
+    for sessions in session_counts:
+        per_session = max(1, statement_count // sessions)
+        lists = [
+            point_query_statements(per_session, scale, seed=13 + 17 * index)
+            for index in range(sessions)
+        ]
+        shard_count = min(sessions, SHARD_STRIDE)
+        drivers: dict[str, ThreadedDriver] = {}
+        for kind in ("original", "monitoring"):
+            setup = _build(kind, scale, shard_count=shard_count)
+            driver = ThreadedDriver(setup.engine, "nref", lists)
+            driver.run_pass()  # warm statement/plan caches
+            drivers[kind] = driver
+        arms.append({
+            "sessions": sessions,
+            "shard_count": shard_count,
+            "statements": per_session * sessions,
+            "drivers": drivers,
+            "original_rounds": [],
+            "monitoring_rounds": [],
+        })
+    for _attempt in range(repeats):
+        for arm in arms:
+            arm["original_rounds"].append(
+                arm["drivers"]["original"].run_pass().wallclock_s)
+            arm["monitoring_rounds"].append(
+                arm["drivers"]["monitoring"].run_pass().wallclock_s)
+    points: list[dict] = []
+    for arm in arms:
+        for driver in arm["drivers"].values():
+            driver.close()
+        round_overheads = [
+            round((mon - orig) / orig * 100.0, 2)
+            for orig, mon in zip(arm["original_rounds"],
+                                 arm["monitoring_rounds"])
+        ]
+        best_orig = min(arm["original_rounds"])
+        best_mon = min(arm["monitoring_rounds"])
+        points.append({
+            "sessions": arm["sessions"],
+            "shard_count": arm["shard_count"],
+            "statements": arm["statements"],
+            "original_seconds": round(best_orig, 6),
+            "monitoring_seconds": round(best_mon, 6),
+            # Ratio of best-of-rounds wallclocks: scheduler preemption
+            # only ever adds time to a multi-threaded pass (never
+            # removes it), so each arm's minimum is its least
+            # contaminated measurement — medians and per-round ratios
+            # both stay bimodal on busy or single-core hosts.
+            "overhead_pct": round(
+                (best_mon - best_orig) / best_orig * 100.0, 2),
+            "overhead_rounds_pct": round_overheads,
+        })
+    return {
+        "limit_ratio": CONCURRENCY_LIMIT_RATIO,
+        "points": points,
+    }
+
+
+def check_concurrency(concurrency: dict,
+                      single_session_overhead: float | None = None,
+                      ) -> str | None:
+    """Fail when many-session overhead outgrows the single-session one.
+
+    The limit is ``max(base, 0) * limit_ratio + floor`` — the same
+    jitter floor as the regression gate, so a near-zero baseline does
+    not turn measurement noise into a failure.  ``single_session_overhead``
+    (the main gate's chunk-interleaved figure-4 number) is an alternate
+    estimate of the same baseline quantity measured with a far more
+    noise-resistant methodology; when provided, the larger of the two
+    anchors the limit so a single unlucky 1-session arm cannot fail an
+    otherwise healthy axis.
+    """
+    points = concurrency.get("points", [])
+    if len(points) < 2:
+        return None
+    base, worst = points[0], points[-1]
+    base_overhead = base["overhead_pct"]
+    if single_session_overhead is not None:
+        base_overhead = max(base_overhead, single_session_overhead)
+    limit = (max(base_overhead, 0.0) * concurrency["limit_ratio"]
+             + REGRESSION_FLOOR_PCT)
+    if worst["overhead_pct"] > limit:
+        return (f"concurrency overhead blew up: {worst['overhead_pct']:.2f}%"
+                f" at {worst['sessions']} sessions vs"
+                f" {base_overhead:.2f}% at {base['sessions']}"
+                f" (limit {limit:.2f}%)")
+    return None
+
+
+# -- history and the regression gate ---------------------------------------
+
+
+def history_entry(result: dict) -> dict:
+    """One-line summary of a gate run for the ``history`` array."""
+    monitoring = result.get("monitoring", {})
+    entry = {
+        "overhead_pct": result.get("overhead_pct"),
+        "monitoring_seconds": monitoring.get("seconds"),
+        "sensor_avg_us": monitoring.get("sensor_avg_us"),
+    }
+    points = result.get("concurrency", {}).get("points", [])
+    if points:
+        entry["concurrency_overhead_pct"] = points[-1]["overhead_pct"]
+    return entry
+
+
+def append_history(result: dict, previous: dict | None) -> None:
+    """Carry the previous file's ``history`` forward, append this run,
+    and cap the array at :data:`HISTORY_LIMIT` entries (oldest out)."""
+    carried = list(previous.get("history", [])) if previous else []
+    result["history"] = (carried + [history_entry(result)])[-HISTORY_LIMIT:]
+
+
+def check_regression(result: dict, previous: dict) -> str | None:
+    """Return a failure message if ``result`` regressed past tolerance."""
+    prev_pct = previous.get("overhead_pct")
+    if prev_pct is None:
+        return None
+    limit = prev_pct * (1.0 + REGRESSION_TOLERANCE) + REGRESSION_FLOOR_PCT
+    if result["overhead_pct"] > limit:
+        return (f"monitoring overhead regressed: {result['overhead_pct']:.2f}%"
+                f" vs committed {prev_pct:.2f}% (limit {limit:.2f}%)")
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proteins", type=int, default=DEFAULT_PROTEINS)
+    parser.add_argument("--statements", type=int, default=DEFAULT_STATEMENTS)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--concurrency-statements", type=int, default=None,
+                        help="total statements per concurrency pass "
+                             "(default: --statements)")
+    parser.add_argument("--concurrency-repeats", type=int, default=None,
+                        help="paired rounds per session count "
+                             "(default: --repeats)")
+    parser.add_argument("--output", type=pathlib.Path, default=RESULT_PATH)
+    parser.add_argument("--no-check", action="store_true",
+                        help="measure and write, skip the regression gate")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the JSON even on regression (baseline "
+                             "reset; the diff is the review artifact)")
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+
+    result = run_gate(args.proteins, args.statements, args.repeats)
+    result["concurrency"] = run_concurrency(
+        args.proteins,
+        args.concurrency_statements or args.statements,
+        args.concurrency_repeats or args.repeats)
+    append_history(result, previous)
+    if previous is not None:
+        result["previous"] = {
+            "overhead_pct": previous.get("overhead_pct"),
+            "monitoring_seconds": previous.get("monitoring", {}).get("seconds"),
+            "sensor_avg_us": previous.get("monitoring", {}).get("sensor_avg_us"),
+        }
+
+    failure = None
+    if not args.no_check:
+        if previous is not None:
+            failure = check_regression(result, previous)
+        if failure is None:
+            failure = check_concurrency(
+                result["concurrency"],
+                single_session_overhead=result["overhead_pct"])
+
+    if failure is None or args.update:
+        args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(json.dumps(result, indent=2))
+    if failure is not None:
+        print(f"BENCH GATE FAIL: {failure}", file=sys.stderr)
+        return 0 if args.update else 1
+    print(f"bench gate ok: overhead {result['overhead_pct']:.2f}%"
+          + (f" (previous {previous['overhead_pct']:.2f}%)"
+             if previous else " (no previous baseline)"))
+    return 0
+
+
+__all__ = [
+    "CHUNK_STATEMENTS",
+    "CONCURRENCY_LIMIT_RATIO",
+    "CONCURRENCY_SESSIONS",
+    "DEFAULT_PROTEINS",
+    "DEFAULT_REPEATS",
+    "DEFAULT_STATEMENTS",
+    "HISTORY_LIMIT",
+    "REGRESSION_FLOOR_PCT",
+    "REGRESSION_TOLERANCE",
+    "REPO_ROOT",
+    "RESULT_PATH",
+    "append_history",
+    "check_concurrency",
+    "check_regression",
+    "history_entry",
+    "main",
+    "run_concurrency",
+    "run_gate",
+]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

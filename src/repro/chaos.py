@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from repro import faultsim
 from repro.clock import VirtualClock
+from repro.config import EngineConfig, MonitorConfig
 from repro.core.accesswitness import (
     AccessWitness,
     cross_check_access,
@@ -51,6 +52,7 @@ from repro.core.lockwitness import (
     cross_check,
     static_order_edges,
 )
+from repro.core.sharding import monitor_shards
 from repro.core.tuning_journal import JournalState, TuningJournal
 from repro.core.workload_db import TABLE_SOURCES
 from repro.errors import ReproError
@@ -84,6 +86,10 @@ class SoakConfig:
     quarantine_cooldown_s: float = 240.0
     round_interval_s: float = 120.0
     """Virtual seconds between rounds (lets cooldowns expire mid-soak)."""
+    shard_count: int = 2
+    """Monitor shards: > 1 soaks the sharded monitor's merged IMA view
+    and the daemon's per-shard high-water vectors under the same
+    crash/recovery torture the plain monitor gets."""
 
 
 @dataclass
@@ -240,7 +246,10 @@ def run_soak(config: SoakConfig,
     rng = random.Random(config.seed)
     clock = VirtualClock(1_000_000.0)
     scale = NrefScale(proteins=config.proteins)
-    setup = daemon_setup("nref", clock=clock, lock_witness=witness)
+    engine_config = EngineConfig(
+        monitor=MonitorConfig(shard_count=config.shard_count))
+    setup = daemon_setup("nref", config=engine_config, clock=clock,
+                         lock_witness=witness)
     load_nref(setup.engine.database("nref"), scale, main_pages=2)
     queries = complex_query_set(scale, count=30, seed=config.seed)
     policy = TuningPolicy(
@@ -253,7 +262,12 @@ def run_soak(config: SoakConfig,
         if setup.daemon is not None:
             access_witness.instrument_mapped(setup.daemon, ownership_map)
         if setup.monitor is not None:
-            access_witness.instrument_mapped(setup.monitor, ownership_map)
+            # A sharded monitor is instrumented shard by shard: the
+            # facade itself is immutable after construction; the
+            # guarded state the ownership model talks about lives in
+            # the per-shard IntegratedMonitor instances.
+            for shard in monitor_shards(setup.monitor):
+                access_witness.instrument_mapped(shard, ownership_map)
         access_witness.instrument_mapped(tuner, ownership_map)
     session = setup.engine.connect("nref")
     try:
@@ -314,6 +328,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="rounds per seed (default: 12)")
     parser.add_argument("--proteins", type=int, default=300,
                         help="NREF scale (default: 300)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="monitor shard count (default: 2; 1 soaks "
+                             "the unsharded monitor)")
     parser.add_argument("--witness", action="store_true",
                         help="wrap engine/daemon locks in the runtime "
                              "lock witness, instrument daemon/monitor/"
@@ -338,7 +355,8 @@ def main(argv: list[str] | None = None) -> int:
         ownership_map = static_ownership_map()
     for seed in seeds:
         config = SoakConfig(seed=seed, rounds=arguments.rounds,
-                            proteins=arguments.proteins)
+                            proteins=arguments.proteins,
+                            shard_count=arguments.shards)
         try:
             report = run_soak(config, witness=witness,
                               access_witness=access_witness,

@@ -376,11 +376,23 @@ def main(argv: list[str] | None = None) -> int:
         # also imported lazily.
         from repro.chaos import main as chaos_main
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # `repro bench [...]` — the figure-4 benchmark gate, including
+        # the concurrency axis (overhead vs. session count).
+        from repro.bench import main as bench_main
+        return bench_main(argv[1:])
+    if argv and argv[0] == "drive":
+        # `repro drive [...]` — the multi-session traffic driver with
+        # its end-to-end persistence invariant checks.
+        from repro.workloads.driver import main as drive_main
+        return drive_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-shell",
         description="SQL + monitoring shell over the repro engine "
                     "(use `lint` as the first argument for static "
-                    "analysis, `chaos` for the crash-recovery soak)")
+                    "analysis, `chaos` for the crash-recovery soak, "
+                    "`bench` for the benchmark gate, `drive` for the "
+                    "multi-session traffic driver)")
     parser.add_argument("--database", default="shell",
                         help="database name to create and connect to")
     parser.add_argument("--execute", action="append", default=[],

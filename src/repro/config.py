@@ -105,6 +105,14 @@ class MonitorConfig:
     skip re-logging catalog references (the caching strategy the paper's
     section V-A proposes to reduce the 1m-test overhead)."""
 
+    shard_count: int = 1
+    """Number of monitor shards.  1 (the default) keeps the paper's
+    single :class:`~repro.core.monitor.IntegratedMonitor`; above 1 the
+    monitor is a :class:`~repro.core.sharding.ShardedMonitor` — sessions
+    hash to per-shard ring buffers with independent locks, merged into
+    one IMA view.  Capped at
+    :data:`~repro.core.sharding.SHARD_STRIDE` (64)."""
+
 
 @dataclass(frozen=True)
 class DaemonConfig:
@@ -137,6 +145,12 @@ class DaemonConfig:
     stop_join_timeout_s: float = 5.0
     """Seconds ``stop()`` waits for the poll thread before reporting a
     hung daemon (the thread handle is kept so it cannot be leaked)."""
+
+    poll_workers: int = 1
+    """Worker threads a poll fans monitor shards across (each worker
+    reads its shards over its own session).  1 polls inline; the whole
+    poll is still serialized under the daemon's poll mutex, so workers
+    parallelize shard reads *within* one poll, never across polls."""
 
 
 @dataclass(frozen=True)

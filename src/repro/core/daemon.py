@@ -34,6 +34,16 @@ The daemon is built to the paper's "never dies, never lies" contract:
   recover the per-table high-water marks from persisted data — a
   daemon that crashed mid-flush restarts without duplicating or losing
   rows.
+
+With a sharded monitor (:mod:`repro.core.sharding`) each IMA table
+carries rows from every shard in the merged seq encoding.  High-water
+marks are therefore per-(table, shard) *vectors* — a scalar over the
+merged space would be unsound, because a lagging shard's later append
+encodes below the global maximum and would be skipped forever.  The
+daemon polls each shard with its own ``where shard = S and seq > hw``
+query; ``poll_workers`` > 1 fans those per-shard reads over worker
+threads (each with its own session) *within* one poll — the poll as a
+whole stays serialized under ``_poll_mutex``.
 * Nothing fails silently: failures are counted in ``poll_failures``
   with the message in ``last_poll_error``, and :meth:`status` exposes
   the full health snapshot (consecutive failures, backoff, pending,
@@ -44,10 +54,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from operator import itemgetter
+from typing import TYPE_CHECKING, Sequence
 
 from repro.clock import Clock
 from repro.config import DaemonConfig
+from repro.core.sharding import shard_of_seq
 from repro.core.workload_db import TABLE_SOURCES, WorkloadDatabase
 from repro.errors import MonitorError, ReproError
 
@@ -91,18 +103,25 @@ class StorageDaemon:
     def __init__(self, engine: "EngineInstance", ima_database: str,
                  workload_db: WorkloadDatabase,
                  config: DaemonConfig | None = None,
-                 witness: "LockWitness | None" = None) -> None:
+                 witness: "LockWitness | None" = None,
+                 shard_count: int = 1) -> None:
         self.engine = engine
         self.ima_database = ima_database
         self.workload_db = workload_db
         self.config = config or engine.config.daemon
         self.clock: Clock = engine.clock
+        self.shard_count = max(1, shard_count)
         # Serializes whole polls/flushes end to end (see module doc).
         # The plain Lock() assignments stay first so the static lock
         # model keeps its type evidence; a witness-enabled run re-binds
         # both locks through the recording wrapper.
         self._poll_mutex: "threading.Lock | WitnessedLock" = threading.Lock()
         self._session: "Session | None" = None  # staticcheck: shared(_poll_mutex)
+        # One extra session per poll worker (created lazily, only when
+        # poll_workers > 1); sessions are not thread-safe, so each
+        # worker reads through its own.
+        self._worker_sessions: "list[Session]" = \
+            []  # staticcheck: shared(_poll_mutex); bounded(poll_workers)
         self._lock: "threading.Lock | WitnessedLock" = threading.Lock()
         if witness is not None:
             self._poll_mutex = witness.wrap(
@@ -110,10 +129,13 @@ class StorageDaemon:
                 "repro.core.daemon.StorageDaemon._poll_mutex")
             self._lock = witness.wrap(
                 threading.Lock(), "repro.core.daemon.StorageDaemon._lock")
-        # Key space fixed by TABLE_SOURCES (one entry per IMA table).
-        self._last_seq: dict[str, int] = {
+        # Key space fixed by TABLE_SOURCES (one entry per IMA table);
+        # each value is the per-shard vector of *encoded* high-water
+        # seqs (see module doc for why a merged-space scalar is wrong).
+        self._last_seq: dict[str, list[int]] = {
             # staticcheck: shared(_lock); bounded(TABLE_SOURCES)
-            source: 0 for source in TABLE_SOURCES.values()
+            source: [0] * self.shard_count
+            for source in TABLE_SOURCES.values()
         }
         # Same fixed key space; each per-table list is drained by every
         # flush and capped at max_pending_rows while the workload DB is
@@ -123,12 +145,15 @@ class StorageDaemon:
             table: [] for table in TABLE_SOURCES
         }
         # Poll statements are "constant prefix + high-water seq"; the
-        # constant part is formatted once here, not per poll under
-        # _poll_mutex (PRF005).
-        self._poll_query_prefix: dict[str, str] = {
+        # constant part is formatted once per (table, shard) here, not
+        # per poll under _poll_mutex (PRF005).
+        self._poll_query_prefix: dict[tuple[str, int], str] = {
             # staticcheck: bounded(TABLE_SOURCES)
-            ima_table: f"select * from {ima_table} where seq > "
+            (ima_table, shard):
+                f"select * from {ima_table} "
+                f"where shard = {shard} and seq > "
             for ima_table in TABLE_SOURCES.values()
+            for shard in range(self.shard_count)
         }
         self._polls_since_flush = 0  # staticcheck: shared(_lock)
         self._thread: threading.Thread | None = None
@@ -153,13 +178,19 @@ class StorageDaemon:
         the workload DB's trailing ``src_seq`` column is the durable
         record of what was persisted, so a restarted daemon resumes
         exactly after it — no duplicated and no lost rows.
+
+        The marks are recovered per shard (``src_seq`` carries the
+        shard in its encoding); seqs from shards beyond this daemon's
+        ``shard_count`` are ignored — a monitor restarted with fewer
+        shards never produces new rows there, so they cannot duplicate.
         """
-        marks = self.workload_db.load_high_water()
+        marks = self.workload_db.load_high_water_vector()
         with self._lock:
-            for wl_table, seq in marks.items():
-                ima_table = TABLE_SOURCES[wl_table]
-                if seq > self._last_seq[ima_table]:
-                    self._last_seq[ima_table] = seq
+            for wl_table, per_shard in marks.items():
+                vector = self._last_seq[TABLE_SOURCES[wl_table]]
+                for shard, seq in per_shard.items():
+                    if shard < self.shard_count and seq > vector[shard]:
+                        vector[shard] = seq
 
     # -- polling ------------------------------------------------------------
 
@@ -171,6 +202,24 @@ class StorageDaemon:
             self._session = self.engine.connect(  # staticcheck: ignore[LCK004]
                 self.ima_database)
         return self._session
+
+    # staticcheck: guarded-by(_poll_mutex)
+    def _ensure_worker_sessions(self, count: int) -> "list[Session]":
+        """Grow/refresh the worker session pool to ``count`` entries.
+
+        Like :meth:`_ensure_session`, connecting under ``_poll_mutex``
+        is deliberate — the mutex serializes daemon polls only.
+        """
+        sessions = self._worker_sessions
+        connect = self.engine.connect
+        for index, session in enumerate(sessions):
+            if session.closed:
+                sessions[index] = connect(  # staticcheck: ignore[LCK004]
+                    self.ima_database)
+        while len(sessions) < count:
+            sessions.append(connect(  # staticcheck: ignore[LCK004]
+                self.ima_database))
+        return sessions[:count]  # staticcheck: allocfree(bounded-by-poll-workers)
 
     def poll_once(self) -> PollStats:
         """One wake-up: read new IMA rows; flush if the batch is due.
@@ -193,33 +242,24 @@ class StorageDaemon:
 
     # staticcheck: hotpath
     def _poll_locked(self) -> PollStats:
-        session = self._ensure_session()
         with self._lock:
-            # Six-entry snapshot fixed by TABLE_SOURCES; copying it *is*
-            # the poll's consistency mechanism (see poll_once).
-            high_water = dict(self._last_seq)  # staticcheck: allocfree(fixed-table-key-space)
+            # Fixed-size snapshot (TABLE_SOURCES x shard_count);
+            # copying it *is* the poll's consistency mechanism (see
+            # poll_once).
+            high_water = {  # staticcheck: allocfree(fixed-table-key-space)
+                table: list(vector)
+                for table, vector in self._last_seq.items()
+            }
         # The SQL round trips run without the daemon's cheap lock held —
         # a poll must never block counter reads on query execution.
-        batches: dict[str, list[tuple[int, tuple]]] = {}
-        collected = 0
-        query_prefix = self._poll_query_prefix
-        for wl_table, ima_table in TABLE_SOURCES.items():
-            result = session.execute(
-                query_prefix[ima_table] + str(high_water[ima_table]))
-            rows: list[tuple[int, tuple]] = []
-            append_row = rows.append
-            for row in result.rows:
-                seq = row[0]
-                if seq > high_water[ima_table]:
-                    high_water[ima_table] = seq
-                append_row((seq, tuple(row[1:])))  # staticcheck: allocfree(row-materialization-is-the-product)
-                collected += 1
-            batches[wl_table] = rows
+        batches, collected = self._collect(high_water)
         with self._lock:
             last_seq = self._last_seq
-            for ima_table, seq in high_water.items():
-                if seq > last_seq[ima_table]:
-                    last_seq[ima_table] = seq
+            for ima_table, vector in high_water.items():
+                marks = last_seq[ima_table]
+                for shard, seq in enumerate(vector):
+                    if seq > marks[shard]:
+                        marks[shard] = seq
             for wl_table, rows in batches.items():
                 self._admit_pending(wl_table, rows)
             self.total_polls += 1
@@ -236,6 +276,117 @@ class StorageDaemon:
             flushed = True
         return PollStats(collected, flushed,  # staticcheck: allocfree(one-stats-record-per-poll)
                          rows_flushed, rows_purged)
+
+    # staticcheck: guarded-by(_poll_mutex)
+    def _collect(self, high_water: dict[str, list[int]],
+                 ) -> tuple[dict[str, list[tuple[int, tuple]]], int]:
+        """Read every shard's new IMA rows into per-table batches,
+        raising the ``high_water`` marks in place.
+
+        With ``poll_workers`` > 1 the shards fan out over that many
+        worker threads, each reading through its own session.  The poll
+        as a whole still runs under ``_poll_mutex``: workers only ever
+        run *within* one poll, never across two, so the high-water
+        consistency argument is unchanged.  If any worker fails the
+        first error is re-raised and nothing is admitted — the marks
+        don't advance, and the next poll re-reads.
+        """
+        workers = min(self.config.poll_workers, self.shard_count)
+        if workers <= 1:
+            batches: dict[str, list[tuple[int, tuple]]] = {  # staticcheck: allocfree(fixed-table-key-space)
+                wl_table: [] for wl_table in TABLE_SOURCES}
+            # Reading IMA over SQL under _poll_mutex is the daemon's
+            # design (see poll_once); the mutex never touches hot paths.
+            collected = self._poll_shards(  # staticcheck: ignore[LCK004]
+                self._ensure_session(), range(self.shard_count),  # staticcheck: ignore[LCK004]
+                high_water, batches)
+            return batches, collected
+        groups = [range(index, self.shard_count, workers)  # staticcheck: allocfree(bounded-by-poll-workers)
+                  for index in range(workers)]
+        sessions = self._ensure_worker_sessions(workers)  # staticcheck: ignore[LCK004]
+        outcomes: list[
+            tuple[dict[str, list[tuple[int, tuple]]], dict[str, list[int]],
+                  int] | Exception | None] = [None] * workers  # staticcheck: allocfree(bounded-by-poll-workers)
+
+        def poll_group(index: int) -> None:
+            # Each worker reads against its own copy of the marks and
+            # into its own batches; the owning thread merges after join,
+            # so workers share no mutable state.
+            local_water = {table: list(vector)
+                           for table, vector in high_water.items()}
+            local_batches: dict[str, list[tuple[int, tuple]]] = {
+                wl_table: [] for wl_table in TABLE_SOURCES}
+            try:
+                count = self._poll_shards(sessions[index], groups[index],
+                                          local_water, local_batches)
+            except (ReproError, OSError) as error:
+                outcomes[index] = error
+                return
+            outcomes[index] = (local_batches, local_water, count)
+
+        threads = [  # staticcheck: allocfree(one-thread-per-worker-per-poll)
+            threading.Thread(target=poll_group, args=(index,),
+                             name=f"repro-daemon-poll-{index}", daemon=True)  # staticcheck: allocfree(one-thread-per-worker-per-poll)
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            # Joining under _poll_mutex is deliberate: the workers ARE
+            # this poll, and the mutex must not release until every
+            # worker's reads are merged.
+            thread.join()  # staticcheck: ignore[LCK004]
+        merged: dict[str, list[tuple[int, tuple]]] = {  # staticcheck: allocfree(fixed-table-key-space)
+            wl_table: [] for wl_table in TABLE_SOURCES}
+        collected = 0
+        failure: Exception | None = None
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, Exception):
+                if failure is None:
+                    failure = outcome
+                continue
+            if outcome is None:  # pragma: no cover - worker died unrecorded
+                continue
+            local_batches, local_water, count = outcome
+            collected += count
+            for table, rows in local_batches.items():
+                merged[table].extend(rows)
+            for table, vector in local_water.items():
+                marks = high_water[table]
+                for shard in groups[index]:
+                    if vector[shard] > marks[shard]:
+                        marks[shard] = vector[shard]
+        if failure is not None:
+            raise failure
+        return merged, collected
+
+    def _poll_shards(self, session: "Session", shards: Sequence[int],
+                     high_water: dict[str, list[int]],
+                     batches: dict[str, list[tuple[int, tuple]]]) -> int:
+        """Collect rows newer than ``high_water`` for ``shards`` into
+        ``batches``, raising the marks in place; returns rows read.
+
+        Rows enter a batch as ``(encoded_seq, row-minus-seq/shard)`` —
+        the shard column exists for the per-shard poll queries and is
+        stripped here, so the persisted ``wl_*`` schemas are unchanged
+        (the shard survives inside ``src_seq``).
+        """
+        collected = 0
+        query_prefix = self._poll_query_prefix
+        for wl_table, ima_table in TABLE_SOURCES.items():
+            marks = high_water[ima_table]
+            rows = batches[wl_table]
+            append_row = rows.append
+            for shard in shards:
+                result = session.execute(
+                    query_prefix[ima_table, shard] + str(marks[shard]))
+                for row in result.rows:
+                    seq = row[0]
+                    if seq > marks[shard]:
+                        marks[shard] = seq
+                    append_row((seq, tuple(row[2:])))  # staticcheck: allocfree(row-materialization-is-the-product)
+                    collected += 1
+        return collected
 
     def flush(self) -> tuple[int, int]:
         """Append buffered rows to the workload DB and purge old history.
@@ -271,6 +422,11 @@ class StorageDaemon:
                     batches[table] = rows
                     pending[table] = []
             self._polls_since_flush = 0
+        for rows in batches.values():
+            # Ascending *encoded* seq: shard interleaves, but every
+            # per-shard subsequence is ascending, so a crash mid-append
+            # still persists a clean per-shard prefix for recovery.
+            rows.sort(key=itemgetter(0))
         written = 0
         done: set[str] = set()  # staticcheck: allocfree(per-flush-accumulator)
         try:
@@ -303,12 +459,13 @@ class StorageDaemon:
         """Put rows the failed flush did not persist back in pending.
 
         The failing table may have persisted a prefix of its batch, so
-        the persisted high-water marks decide what to requeue; if even
-        reading them fails, requeue everything not known written (the
-        next resync-based recovery still converges).
+        the persisted high-water marks — per shard, since the prefix is
+        only a prefix *per shard* of the sorted merge — decide what to
+        requeue; if even reading them fails, requeue everything not
+        known written (the next resync-based recovery still converges).
         """
         try:
-            marks = self.workload_db.load_high_water()
+            marks = self.workload_db.load_high_water_vector()
         except (ReproError, OSError):
             marks = {}
         with self._lock:
@@ -316,8 +473,9 @@ class StorageDaemon:
                 if table in done:
                     self.total_rows_flushed += len(rows)
                     continue
-                floor = marks.get(table, 0)
-                survivors = [(seq, row) for seq, row in rows if seq > floor]
+                floors = marks.get(table, {})
+                survivors = [(seq, row) for seq, row in rows
+                             if seq > floors.get(shard_of_seq(seq), 0)]
                 self.total_rows_flushed += len(rows) - len(survivors)
                 self._pending[table][:0] = survivors
                 self._enforce_cap(table)
@@ -428,13 +586,15 @@ class StorageDaemon:
 
     def _close_session(self) -> None:
         with self._poll_mutex:
-            if self._session is None:
-                return
-            try:
-                self._session.close()
-            except (ReproError, OSError):
-                pass  # session/engine already torn down
+            for session in (self._session, *self._worker_sessions):
+                if session is None:
+                    continue
+                try:
+                    session.close()
+                except (ReproError, OSError):
+                    pass  # session/engine already torn down
             self._session = None
+            self._worker_sessions.clear()
 
     def _run(self) -> None:
         while True:

@@ -2,13 +2,20 @@
 
 The Ingres Management Architecture registers in-memory DBMS structures
 as relational objects queryable over standard SQL, with no disk access.
-``register_ima_tables`` does the same here: it installs seven virtual
-tables backed directly by an :class:`IntegratedMonitor`'s buffers into
-a database, so any session can read monitor data with plain SELECTs —
-which is exactly how the storage daemon collects it.
+``register_ima_tables`` does the same here: it installs virtual tables
+backed directly by a monitor's buffers into a database, so any session
+can read monitor data with plain SELECTs — which is exactly how the
+storage daemon collects it.
 
-Every IMA table carries a ``seq`` column (the record's buffer sequence
-number) so a poller can fetch only rows newer than its last visit.
+Every IMA table carries a leading ``seq`` column (the record's sequence
+number in the *merged* shard encoding of :mod:`repro.core.sharding`)
+and a ``shard`` column naming the monitor shard that produced the row.
+A poller fetches only rows newer than its last visit *per shard*
+(``where shard = S and seq > hw[S]``); a plain unsharded monitor is
+published as shard 0, so both monitor flavors share one protocol.  The
+``shard`` column exists for the daemon's shard-filtered polls and is
+stripped before rows reach the workload DB — the persisted ``wl_*``
+schemas are unchanged (the shard survives inside ``src_seq``).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.catalog.schema import Column, DataType, TableSchema
 from repro.core.monitor import IntegratedMonitor
+from repro.core.sharding import ShardedMonitor, encode_seq, monitor_shards
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
@@ -35,12 +43,13 @@ def _text(name: str) -> Column:
 
 
 STATEMENTS_SCHEMA = TableSchema("ima_statements", (
-    _int("seq"), _int("text_hash"), _text("query_text"),
+    _int("seq"), _int("shard"), _int("text_hash"), _text("query_text"),
     _int("frequency"), _float("first_seen"), _float("last_seen"),
 ))
 
 WORKLOAD_SCHEMA = TableSchema("ima_workload", (
-    _int("seq"), _int("text_hash"), _int("session_id"), _float("ts"),
+    _int("seq"), _int("shard"), _int("text_hash"), _int("session_id"),
+    _float("ts"),
     _float("optimize_time_s"), _float("execute_time_s"),
     _float("wallclock_s"), _float("estimated_io"), _float("estimated_cpu"),
     _float("actual_io"), _float("actual_cpu"), _int("logical_reads"),
@@ -49,32 +58,34 @@ WORKLOAD_SCHEMA = TableSchema("ima_workload", (
 ))
 
 REFERENCES_SCHEMA = TableSchema("ima_references", (
-    _int("seq"), _int("text_hash"), Column("object_type", DataType.VARCHAR, 16),
+    _int("seq"), _int("shard"), _int("text_hash"),
+    Column("object_type", DataType.VARCHAR, 16),
     _text("object_name"), _text("table_name"), _int("frequency"),
 ))
 
 TABLES_SCHEMA = TableSchema("ima_tables", (
-    _int("seq"), _text("table_name"), _int("frequency"),
+    _int("seq"), _int("shard"), _text("table_name"), _int("frequency"),
     Column("structure", DataType.VARCHAR, 16), _int("data_pages"),
     _int("overflow_pages"), _int("row_count"), _int("has_statistics"),
 ))
 
 ATTRIBUTES_SCHEMA = TableSchema("ima_attributes", (
-    _int("seq"), _text("table_name"), _text("attribute_name"),
+    _int("seq"), _int("shard"), _text("table_name"), _text("attribute_name"),
     _int("frequency"), _int("has_histogram"),
 ))
 
 INDEXES_SCHEMA = TableSchema("ima_indexes", (
-    _int("seq"), _text("index_name"), _text("table_name"), _int("frequency"),
+    _int("seq"), _int("shard"), _text("index_name"), _text("table_name"),
+    _int("frequency"),
 ))
 
 PLANS_SCHEMA = TableSchema("ima_plans", (
-    _int("seq"), _int("text_hash"), _float("estimated_cost"),
+    _int("seq"), _int("shard"), _int("text_hash"), _float("estimated_cost"),
     _text("plan_text"), _float("captured_at"),
 ))
 
 STATISTICS_SCHEMA = TableSchema("ima_statistics", (
-    _int("seq"), _float("ts"), _int("current_sessions"),
+    _int("seq"), _int("shard"), _float("ts"), _int("current_sessions"),
     _int("peak_sessions"), _int("locks_held"), _int("lock_waiters"),
     _int("lock_requests"), _int("lock_waits"), _int("deadlocks"),
     _int("lock_timeouts"), _int("cache_hits"), _int("cache_misses"),
@@ -88,88 +99,124 @@ IMA_TABLE_NAMES = (
 
 
 def register_ima_tables(database: "Database",
-                        monitor: IntegratedMonitor,
+                        monitor: "IntegratedMonitor | ShardedMonitor",
                         monitored_database: "Database | None" = None) -> None:
     """Install the IMA virtual tables into ``database``.
 
-    ``monitored_database`` (default: ``database`` itself) is consulted
-    to enrich the ``ima_tables``/``ima_attributes`` snapshots with live
-    catalog facts — storage structure, page counts, histogram presence —
-    which the monitor logged "at the source" and the analyzer needs.
+    ``monitor`` may be a plain :class:`IntegratedMonitor` (published as
+    shard 0) or a :class:`ShardedMonitor` (one row stream per shard,
+    merged and sorted by encoded seq).  ``monitored_database`` (default:
+    ``database`` itself) is consulted to enrich the
+    ``ima_tables``/``ima_attributes`` snapshots with live catalog facts
+    — storage structure, page counts, histogram presence — which the
+    monitor logged "at the source" and the analyzer needs.
     """
     source = monitored_database if monitored_database is not None else database
+    shards = monitor_shards(monitor)
 
     def statements_rows() -> list[tuple]:
-        return [
-            (seq, r.text_hash, r.text, r.frequency, r.first_seen, r.last_seen)
-            for seq, r in monitor.statements.snapshot()
+        rows = [
+            (encode_seq(seq, shard_id), shard_id, r.text_hash, r.text,
+             r.frequency, r.first_seen, r.last_seen)
+            for shard_id, shard in enumerate(shards)
+            for seq, r in shard.statements.snapshot()
         ]
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     def workload_rows() -> list[tuple]:
-        return [
-            (seq, r.text_hash, r.session_id, r.timestamp, r.optimize_time_s,
+        rows = [
+            (encode_seq(seq, shard_id), shard_id, r.text_hash, r.session_id,
+             r.timestamp, r.optimize_time_s,
              r.execute_time_s, r.wallclock_s, r.estimated_io, r.estimated_cpu,
              r.actual_io, r.actual_cpu, r.logical_reads, r.physical_reads,
              r.tuples_processed, r.rows_returned, r.used_indexes,
              r.monitor_time_s)
-            for seq, r in monitor.workload.snapshot()
+            for shard_id, shard in enumerate(shards)
+            for seq, r in shard.workload.snapshot()
         ]
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     def references_rows() -> list[tuple]:
-        return [
-            (seq, r.text_hash, r.object_type, r.object_name, r.table_name,
-             r.frequency)
-            for seq, r in monitor.references.snapshot()
+        rows = [
+            (encode_seq(seq, shard_id), shard_id, r.text_hash, r.object_type,
+             r.object_name, r.table_name, r.frequency)
+            for shard_id, shard in enumerate(shards)
+            for seq, r in shard.references.snapshot()
         ]
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     def tables_rows() -> list[tuple]:
         rows: list[tuple] = []
-        for seq, record in monitor.tables.snapshot():
-            structure = ""
-            pages = overflow = row_count = 0
-            has_stats = 0
-            if source.catalog.has_table(record.table_name):
-                entry = source.catalog.table(record.table_name)
-                has_stats = int(entry.statistics is not None)
-                if not entry.is_virtual:
-                    storage = source.storage_for(record.table_name)
-                    structure = entry.structure.value
-                    pages = storage.page_count
-                    overflow = storage.overflow_page_count
-                    row_count = storage.row_count
-            rows.append((seq, record.table_name, record.frequency,
-                         structure, pages, overflow, row_count, has_stats))
+        for shard_id, shard in enumerate(shards):
+            for seq, record in shard.tables.snapshot():
+                structure = ""
+                pages = overflow = row_count = 0
+                has_stats = 0
+                if source.catalog.has_table(record.table_name):
+                    entry = source.catalog.table(record.table_name)
+                    has_stats = int(entry.statistics is not None)
+                    if not entry.is_virtual:
+                        storage = source.storage_for(record.table_name)
+                        structure = entry.structure.value
+                        pages = storage.page_count
+                        overflow = storage.overflow_page_count
+                        row_count = storage.row_count
+                rows.append((encode_seq(seq, shard_id), shard_id,
+                             record.table_name, record.frequency,
+                             structure, pages, overflow, row_count,
+                             has_stats))
+        rows.sort(key=lambda row: row[0])
         return rows
 
     def attributes_rows() -> list[tuple]:
         rows: list[tuple] = []
-        for seq, record in monitor.attributes.snapshot():
-            has_histogram = 0
-            if source.catalog.has_table(record.table_name):
-                stats = source.catalog.table(record.table_name).statistics
-                if stats is not None:
-                    column = stats.column(record.attribute_name)
-                    has_histogram = int(
-                        column is not None and column.histogram is not None)
-            rows.append((seq, record.table_name, record.attribute_name,
-                         record.frequency, has_histogram))
+        for shard_id, shard in enumerate(shards):
+            for seq, record in shard.attributes.snapshot():
+                has_histogram = 0
+                if source.catalog.has_table(record.table_name):
+                    stats = source.catalog.table(record.table_name).statistics
+                    if stats is not None:
+                        column = stats.column(record.attribute_name)
+                        has_histogram = int(
+                            column is not None
+                            and column.histogram is not None)
+                rows.append((encode_seq(seq, shard_id), shard_id,
+                             record.table_name, record.attribute_name,
+                             record.frequency, has_histogram))
+        rows.sort(key=lambda row: row[0])
         return rows
 
     def indexes_rows() -> list[tuple]:
-        return [
-            (seq, r.index_name, r.table_name, r.frequency)
-            for seq, r in monitor.indexes.snapshot()
+        rows = [
+            (encode_seq(seq, shard_id), shard_id, r.index_name,
+             r.table_name, r.frequency)
+            for shard_id, shard in enumerate(shards)
+            for seq, r in shard.indexes.snapshot()
         ]
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     def statistics_rows() -> list[tuple]:
-        return [(seq,) + r.as_row()
-                for seq, r in monitor.statistics.snapshot()]
+        rows = [
+            (encode_seq(seq, shard_id), shard_id) + r.as_row()
+            for shard_id, shard in enumerate(shards)
+            for seq, r in shard.statistics.snapshot()
+        ]
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     def plans_rows() -> list[tuple]:
-        return [
-            (seq, r.text_hash, r.estimated_cost, r.plan_text, r.captured_at)
-            for seq, r in monitor.plans.snapshot()
+        rows = [
+            (encode_seq(seq, shard_id), shard_id, r.text_hash,
+             r.estimated_cost, r.plan_text, r.captured_at)
+            for shard_id, shard in enumerate(shards)
+            for seq, r in shard.plans.snapshot()
         ]
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     database.register_virtual_table(STATEMENTS_SCHEMA, statements_rows)
     database.register_virtual_table(WORKLOAD_SCHEMA, workload_rows)

@@ -97,10 +97,15 @@ class IntegratedMonitor:
     def _insert_statement(self, text: str, text_hash: int,
                           now: float) -> bool:
         """Statement-cache miss: build and insert the record (or
-        refresh it when another session won the insert race)."""
-        was_known = text_hash in self.statements
+        refresh it when another session won the insert race).
+
+        The insert and the was-it-known check are one critical section
+        (``upsert_tracked``): a separate containment probe would let two
+        racing sessions both see a miss and both report the statement as
+        new, double-logging its object references.
+        """
         limit = self.config.max_statement_text
-        self.statements.upsert(
+        _record, created = self.statements.upsert_tracked(
             text_hash,
             create=lambda: StatementRecord(
                 text_hash=text_hash,
@@ -109,7 +114,7 @@ class IntegratedMonitor:
             ),
             update=lambda record: record.bumped(now),
         )
-        return not was_known
+        return created
 
     # staticcheck: coldpath(statement-cache-miss-only)
     def record_references(self, text_hash: int,
@@ -194,6 +199,16 @@ class IntegratedMonitor:
             self.sensor_calls += 1
             self.sensor_time_s += elapsed_s
 
+    # staticcheck: hotpath
+    def note_sensor_calls(self, count: int, elapsed_s: float) -> None:
+        """Fold one whole statement's sensor accounting in a single lock
+        round-trip.  The terminal sensor calls this with the context's
+        accumulated count/time; paying one acquisition per sensor fire
+        instead measurably contends once many sessions run at once."""
+        with self._counter_lock:
+            self.sensor_calls += count
+            self.sensor_time_s += elapsed_s
+
     def statistics_due(self, now: float) -> bool:
         """Whether the rate limiter would admit a statistics sample at
         ``now`` (advisory read; :meth:`record_statistics` re-checks
@@ -216,18 +231,42 @@ class IntegratedMonitor:
             self.sensor_calls = 0
             self.sensor_time_s = 0.0
 
+    @property
+    def shard_count(self) -> int:
+        """A plain monitor is one shard (shard id 0) of the merged IMA
+        seq space; :class:`~repro.core.sharding.ShardedMonitor` reports
+        its real count.  Consumers (IMA, daemon) treat both uniformly."""
+        return 1
+
 
 class MonitorSensors(Sensors):
-    """The in-core sensor implementation writing into the monitor."""
+    """The in-core sensor implementation writing into the monitor.
 
-    def __init__(self, monitor: IntegratedMonitor) -> None:
+    ``session_id`` (via :meth:`for_session`) binds the object to one
+    session: contexts it creates carry that id even when the call site
+    does not pass one, so per-session attribution in the workload view
+    never silently defaults to session 0.  ``statistics_monitor``
+    redirects system-statistics samples to a different monitor — the
+    sharded facade points every shard-bound sensor at shard 0 so the
+    global one-per-second statistics rate limit survives sharding.
+    """
+
+    def __init__(self, monitor: IntegratedMonitor, session_id: int = 0,
+                 statistics_monitor: IntegratedMonitor | None = None,
+                 ) -> None:
         self.monitor = monitor
+        self._session_id = session_id
+        self._statistics_monitor = statistics_monitor or monitor
         # Pre-bound fast-path callables: the plan-cache-hit path pays
         # one attribute walk per sensor fire instead of two or three.
         self._record_statement = monitor.record_statement
         self._record_workload = monitor.record_workload
-        self._note_sensor_call = monitor.note_sensor_call
+        self._note_sensor_calls = monitor.note_sensor_calls
         self._statements_get = monitor.statements.get
+
+    def for_session(self, session_id: int) -> "MonitorSensors":
+        return MonitorSensors(self.monitor, session_id,
+                              self._statistics_monitor)
 
     # Each sensor measures its own duration with time.perf_counter —
     # these are the 1-2 microsecond calls section V-A talks about.
@@ -240,11 +279,14 @@ class MonitorSensors(Sensors):
             text=text,
             text_hash=statement_hash(text),
             started_monotonic=t0,
-            session_id=session_id,
+            session_id=session_id if session_id else self._session_id,
         )
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self._note_sensor_call(elapsed)
+        # Deferred accounting: non-terminal sensors only bump the
+        # context; the terminal sensor folds the whole statement into
+        # the monitor's counters in one lock round-trip.
+        ctx.sensor_calls = 1
         return ctx
 
     # staticcheck: hotpath
@@ -264,7 +306,7 @@ class MonitorSensors(Sensors):
             monitor.record_references(ctx.text_hash, table_names)
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self._note_sensor_call(elapsed)
+        ctx.sensor_calls += 1
 
     # staticcheck: hotpath
     def optimize_complete(self, ctx: StatementContext | None,
@@ -298,7 +340,7 @@ class MonitorSensors(Sensors):
                                     plan_supplier(), ctx.wall_time)
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self._note_sensor_call(elapsed)
+        ctx.sensor_calls += 1
 
     # staticcheck: hotpath
     def execute_complete(self, ctx: StatementContext | None,
@@ -330,7 +372,9 @@ class MonitorSensors(Sensors):
         ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self._note_sensor_call(elapsed)
+        # Terminal sensor: fold the statement's whole sensor tally
+        # (this call included) in one counter-lock acquisition.
+        self._note_sensor_calls(ctx.sensor_calls + 1, ctx.monitor_time_s)
 
     def statement_error(self, ctx: StatementContext | None,
                         error: str) -> None:
@@ -359,12 +403,15 @@ class MonitorSensors(Sensors):
         ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
-        self.monitor.note_sensor_call(elapsed)
+        # Terminal sensor on the error path: same one-shot fold as
+        # execute_complete.
+        self.monitor.note_sensor_calls(ctx.sensor_calls + 1,
+                                       ctx.monitor_time_s)
 
     # staticcheck: hotpath
     def sample_statistics(self, supplier: Callable[[], Mapping[str, Any]],
                           ) -> None:
-        monitor = self.monitor
+        monitor = self._statistics_monitor
         now = monitor.clock.now()  # staticcheck: allocfree(statistics-rate-limit-needs-current-time)
         if not monitor.statistics_due(now):
             return

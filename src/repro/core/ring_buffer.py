@@ -115,6 +115,13 @@ class KeyedRingBuffer(Generic[K, T]):
             entry = self._items.get(key)
             return entry[1] if entry is not None else None
 
+    def entry(self, key: K) -> tuple[int, T] | None:
+        """``(updated_seq, value)`` for ``key``, or None (one atomic
+        read — the merged view needs the seq to pick the freshest
+        record across shards)."""
+        with self._lock:
+            return self._items.get(key)
+
     # staticcheck: hotpath
     def bump(self, key: K, update: Callable[[T, Any], T],
              arg: Any) -> bool:
@@ -146,11 +153,28 @@ class KeyedRingBuffer(Generic[K, T]):
         existing record to its refreshed version.  Either way the entry
         becomes most-recently-used and gets a fresh ``updated_seq``.
         """
+        return self.upsert_tracked(key, create, update)[0]
+
+    # staticcheck: hotpath
+    def upsert_tracked(self, key: K, create: Callable[[], T],
+                       update: Callable[[T], T] | None = None,
+                       ) -> tuple[T, bool]:
+        """Like :meth:`upsert`, also reporting whether ``key`` was
+        inserted: ``(value, created)``.
+
+        The existence check and the write happen in *one* critical
+        section, so two sessions racing on the same new key cannot both
+        observe a miss — exactly one caller gets ``created=True`` (the
+        other's ``update`` refreshes the winner's record).  A separate
+        ``key in buffer`` probe followed by ``upsert`` has a lost-update
+        window between the two lock acquisitions.
+        """
         with self._lock:
             seq = self._next_seq
             self._next_seq += 1
             items = self._items
             entry = items.get(key)
+            created = entry is None
             if entry is None:
                 while len(items) >= self.capacity:
                     items.popitem(last=False)
@@ -160,7 +184,7 @@ class KeyedRingBuffer(Generic[K, T]):
                 value = update(entry[1]) if update is not None else entry[1]
             items[key] = (seq, value)
             items.move_to_end(key)
-            return value
+            return value, created
 
     def __len__(self) -> int:
         with self._lock:

@@ -43,6 +43,9 @@ class StatementContext:
     started_monotonic: float = 0.0
     monitor_time_s: float = 0.0
     """Time spent inside monitoring code for this statement (figure 5)."""
+    sensor_calls: int = 0
+    """Sensor fires so far, folded into the monitor's counters by the
+    terminal sensor in one lock round-trip (deferred accounting)."""
     wall_time: float = 0.0
     """Wall-clock timestamp captured once per statement (at parse) and
     reused by every later sensor — deferred timestamping: records for
@@ -59,6 +62,18 @@ class StatementContext:
 
 class Sensors:
     """Interface of the in-core sensors; all methods must be cheap."""
+
+    def for_session(self, session_id: int) -> "Sensors":
+        """A sensor object bound to one session.
+
+        Sessions call this once at connect time and route every sensor
+        fire through the bound object, so per-session state — the
+        session id recorded in statement contexts, the monitor shard the
+        session hashes to — is resolved once instead of per statement.
+        The base implementation (and :class:`NullSensors`) is unbound:
+        it returns ``self``.
+        """
+        return self
 
     def statement_start(self, text: str,
                         session_id: int = 0) -> StatementContext | None:

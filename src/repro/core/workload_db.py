@@ -24,6 +24,7 @@ from repro import faultsim
 from repro.catalog.schema import Column, DataType, StorageStructure, TableSchema
 from repro.clock import Clock, SystemClock
 from repro.config import EngineConfig
+from repro.core.sharding import shard_of_seq
 from repro.engine.database import Database
 from repro.errors import MonitorError
 from repro.optimizer.interfaces import estimate_row_bytes
@@ -182,6 +183,30 @@ class WorkloadDatabase:
                 if seq > high:
                     high = seq
             marks[schema.name] = high
+        return marks
+
+    def load_high_water_vector(self) -> dict[str, dict[int, int]]:
+        """Per-(table, shard) max persisted ``src_seq``.
+
+        ``src_seq`` carries its monitor shard in the merged encoding of
+        :mod:`repro.core.sharding`, so the per-shard maxima are fully
+        recoverable from persisted data alone.  Returns
+        ``{workload_table: {shard: max_encoded_src_seq}}``; tables with
+        no encoded seqs map to ``{}``.  The scalar
+        :meth:`load_high_water` remains for whole-table inspection.
+        """
+        marks: dict[str, dict[int, int]] = {}
+        for schema in WORKLOAD_TABLES:
+            storage = self.database.storage_for(schema.name)
+            per_shard: dict[int, int] = {}
+            for _rowid, row in storage.scan():
+                seq = row[-1]
+                if seq <= 0:
+                    continue  # rows appended without a source seq
+                shard = shard_of_seq(seq)
+                if seq > per_shard.get(shard, 0):
+                    per_shard[shard] = seq
+            marks[schema.name] = per_shard
         return marks
 
     def flush(self) -> None:

@@ -21,6 +21,7 @@ from repro.catalog.schema import (
     StorageStructure,
     TableSchema,
 )
+from repro.core.sensors import Sensors
 from repro.errors import ExecutionError, ReproError, SqlError
 from repro.execution.evaluator import compile_expression, compile_predicate
 from repro.execution.executor import ExecutionMetrics, Executor, QueryResult
@@ -73,6 +74,14 @@ class Session:
         self.engine = engine
         self.database = database
         self.session_id = session_id
+        # Bound once at connect: routes every sensor fire through a
+        # session-bound object, so per-session state (the session id in
+        # statement contexts, the monitor shard this session hashes to)
+        # is resolved here instead of per statement.  The annotation is
+        # type evidence for the static thread-role model: every thread
+        # that executes statements (the storage daemon's poll sessions
+        # included) reaches the sensor overrides through this field.
+        self.sensors: Sensors = engine.sensors.for_session(session_id)
         self.optimizer = Optimizer(database, engine.config)
         self.executor = Executor(database, database.pool, database.disk)
         self._explicit_txn: Transaction | None = None
@@ -131,7 +140,7 @@ class Session:
 
     def execute(self, text: str) -> QueryResult | DmlResult:
         """Run one SQL statement through the monitored pipeline."""
-        sensors = self.engine.sensors
+        sensors = self.sensors
         clock = self.engine.clock
         started = clock.monotonic()
         ctx = sensors.statement_start(text, self.session_id)
@@ -171,7 +180,7 @@ class Session:
 
     def _finish(self, ctx: Any, result: QueryResult | DmlResult,
                 wallclock: float) -> None:
-        sensors = self.engine.sensors
+        sensors = self.sensors
         if isinstance(result, QueryResult):
             metrics = result.metrics
         else:
@@ -284,7 +293,7 @@ class Session:
                         text: str | None = None,
                         cached_plan: Any = None) -> QueryResult:
         clock = self.engine.clock
-        sensors = self.engine.sensors
+        sensors = self.sensors
         txn, autocommit = self._current_txn()
         try:
             if cached_plan is None and _has_subqueries(statement):

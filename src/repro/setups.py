@@ -17,6 +17,7 @@ from repro.core.ima import register_ima_tables
 from repro.core.lockwitness import LockWitness
 from repro.core.monitor import IntegratedMonitor, MonitorSensors
 from repro.core.sensors import NullSensors
+from repro.core.sharding import ShardedMonitor, ShardedMonitorSensors
 from repro.core.workload_db import WorkloadDatabase
 from repro.engine.engine import EngineInstance
 
@@ -27,7 +28,7 @@ class Setup:
 
     name: str
     engine: EngineInstance
-    monitor: IntegratedMonitor | None = None
+    monitor: IntegratedMonitor | ShardedMonitor | None = None
     workload_db: WorkloadDatabase | None = None
     daemon: StorageDaemon | None = None
 
@@ -42,10 +43,21 @@ def original_setup(config: EngineConfig | None = None,
 def monitoring_setup(config: EngineConfig | None = None,
                      clock: Clock | None = None,
                      lock_witness: LockWitness | None = None) -> Setup:
-    """Monitoring code "compiled in": integrated sensors, no daemon."""
+    """Monitoring code "compiled in": integrated sensors, no daemon.
+
+    ``MonitorConfig.shard_count`` picks the monitor flavor: 1 (the
+    paper's default) builds the single :class:`IntegratedMonitor`;
+    above 1 builds a :class:`~repro.core.sharding.ShardedMonitor` whose
+    sensors route each session to its ``session_id % shard_count``
+    shard."""
     engine = EngineInstance(config, clock=clock, lock_witness=lock_witness)
-    monitor = IntegratedMonitor(engine.config.monitor, engine.clock)
-    engine.sensors = MonitorSensors(monitor)
+    monitor: IntegratedMonitor | ShardedMonitor
+    if engine.config.monitor.shard_count > 1:
+        monitor = ShardedMonitor(engine.config.monitor, engine.clock)
+        engine.sensors = ShardedMonitorSensors(monitor)
+    else:
+        monitor = IntegratedMonitor(engine.config.monitor, engine.clock)
+        engine.sensors = MonitorSensors(monitor)
     return Setup(name="monitoring", engine=engine, monitor=monitor)
 
 
@@ -70,7 +82,8 @@ def daemon_setup(database_name: str,
     workload_db = WorkloadDatabase(engine.config, engine.clock)
     daemon = StorageDaemon(engine, database_name, workload_db,
                            daemon_config or engine.config.daemon,
-                           witness=lock_witness)
+                           witness=lock_witness,
+                           shard_count=setup.monitor.shard_count)
     setup.name = "daemon"
     setup.workload_db = workload_db
     setup.daemon = daemon

@@ -8,8 +8,19 @@ configurable scale, plus the three workload classes of section V:
 * the **50** complex-join query set (NREF2J/NREF3J style),
 * the **50k** simple two-table joins with distinct statement texts,
 * the **1m** trivial point queries.
+
+:mod:`repro.workloads.driver` adds the multi-session traffic driver
+(thread- and process-based) that runs these workloads from N concurrent
+sessions — the load source for the sharded monitor.
 """
 
+from repro.workloads.driver import (
+    DriverReport,
+    ThreadedDriver,
+    run_process_mode,
+    run_thread_mode,
+    verify_persisted_invariants,
+)
 from repro.workloads.nref import (
     NREF_TABLE_NAMES,
     NrefScale,
@@ -26,13 +37,18 @@ from repro.workloads.runner import RunReport, WorkloadRunner
 
 __all__ = [
     "NREF_TABLE_NAMES",
+    "DriverReport",
     "NrefScale",
     "RunReport",
+    "ThreadedDriver",
     "WorkloadRunner",
     "complex_query_set",
     "create_nref_schema",
     "load_nref",
     "point_query_statements",
     "reference_indexes",
+    "run_process_mode",
+    "run_thread_mode",
     "simple_join_statements",
+    "verify_persisted_invariants",
 ]

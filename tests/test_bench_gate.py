@@ -83,6 +83,69 @@ class TestGateRun:
         assert second["previous"]["overhead_pct"] == first["overhead_pct"]
 
 
+class TestConcurrencyCheck:
+    def _axis(self, base_pct, worst_pct):
+        return {"limit_ratio": bench_gate.CONCURRENCY_LIMIT_RATIO,
+                "points": [
+                    {"sessions": 1, "overhead_pct": base_pct},
+                    {"sessions": 16, "overhead_pct": worst_pct}]}
+
+    def test_within_limit_passes(self):
+        assert bench_gate.check_concurrency(self._axis(10.0, 14.9)) is None
+
+    def test_blowup_past_limit_fails(self):
+        message = bench_gate.check_concurrency(self._axis(10.0, 40.0))
+        assert message is not None
+        assert "16 sessions" in message
+
+    def test_floor_absorbs_noise_on_tiny_baselines(self):
+        # base 0.5% * 1.5 = 0.75%; without the floor 3% would fail.
+        assert bench_gate.check_concurrency(self._axis(0.5, 3.0)) is None
+
+    def test_negative_baseline_clamped_to_zero(self):
+        assert bench_gate.check_concurrency(self._axis(-5.0, 2.9)) is None
+        assert bench_gate.check_concurrency(self._axis(-5.0, 3.1)) is not None
+
+    def test_fig4_baseline_anchors_the_limit(self):
+        # The chunk-interleaved figure-4 overhead is an alternate (more
+        # robust) estimate of the 1-session baseline; the larger of the
+        # two anchors the limit.
+        axis = self._axis(4.0, 20.0)
+        assert bench_gate.check_concurrency(axis) is not None
+        assert bench_gate.check_concurrency(
+            axis, single_session_overhead=12.0) is None
+        message = bench_gate.check_concurrency(
+            axis, single_session_overhead=5.0)
+        assert message is not None and "5.00%" in message
+
+    def test_single_point_never_fails(self):
+        assert bench_gate.check_concurrency(
+            {"limit_ratio": 1.5,
+             "points": [{"sessions": 1, "overhead_pct": 99.0}]}) is None
+
+
+class TestConcurrencyAxis:
+    def test_tiny_run_measures_all_session_counts(self, tmp_path):
+        output = tmp_path / "bench.json"
+        assert bench_gate.main([
+            "--proteins", "20", "--statements", "64", "--repeats", "1",
+            "--output", str(output), "--no-check",
+        ]) == 0
+        result = json.loads(output.read_text())
+        points = result["concurrency"]["points"]
+        assert [p["sessions"] for p in points] == \
+            list(bench_gate.CONCURRENCY_SESSIONS)
+        for point in points:
+            assert point["shard_count"] == min(point["sessions"], 64)
+            assert point["statements"] > 0
+            assert point["original_seconds"] > 0
+            assert point["monitoring_seconds"] > 0
+            assert "overhead_pct" in point
+        # the run's history line carries the many-session overhead
+        assert result["history"][-1]["concurrency_overhead_pct"] == \
+            points[-1]["overhead_pct"]
+
+
 class TestHistory:
     def test_first_run_starts_a_one_entry_history(self):
         result = {"overhead_pct": 9.5,

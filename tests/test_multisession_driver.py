@@ -1,0 +1,156 @@
+"""Tests for the multi-session traffic driver (thread + process modes)
+and its end-to-end persistence invariant checks."""
+
+import pytest
+
+from repro.config import EngineConfig, MonitorConfig
+from repro.core.sharding import encode_seq
+from repro.setups import daemon_setup, monitoring_setup
+from repro.workloads import (
+    NrefScale,
+    ThreadedDriver,
+    load_nref,
+    point_query_statements,
+    run_process_mode,
+    run_thread_mode,
+    verify_persisted_invariants,
+)
+from repro.workloads.driver import main as driver_main
+
+
+def _nref_engine(shard_count: int = 4, proteins: int = 20):
+    setup = monitoring_setup(EngineConfig(
+        monitor=MonitorConfig(shard_count=shard_count)))
+    setup.engine.create_database("nref")
+    scale = NrefScale(proteins=proteins)
+    load_nref(setup.engine.database("nref"), scale)
+    return setup, scale
+
+
+class TestThreadedDriver:
+    def test_pass_runs_every_session_list(self):
+        setup, scale = _nref_engine()
+        lists = [point_query_statements(12, scale, seed=100 + i)
+                 for i in range(5)]
+        driver = ThreadedDriver(setup.engine, "nref", lists)
+        try:
+            report = driver.run_pass()
+        finally:
+            driver.close()
+        assert report.sessions == 5
+        assert report.statements == 60
+        assert report.errors == 0
+        assert report.wallclock_s > 0
+        assert len(report.per_session) == 5
+        assert all(r.statements == 12 for r in report.per_session)
+
+    def test_sessions_attributed_to_their_shards(self):
+        setup, scale = _nref_engine(shard_count=4)
+        lists = [point_query_statements(6, scale, seed=200 + i)
+                 for i in range(4)]
+        driver = ThreadedDriver(setup.engine, "nref", lists)
+        try:
+            driver.run_pass()
+            monitor = setup.monitor
+            for session in driver.sessions:
+                shard = monitor.shard_id_for(session.session_id)
+                recorded = {r.session_id for r in
+                            monitor.shards[shard].workload.values()}
+                assert session.session_id in recorded
+        finally:
+            driver.close()
+
+    def test_empty_statement_lists_rejected(self):
+        setup, _scale = _nref_engine(shard_count=1)
+        with pytest.raises(ValueError):
+            ThreadedDriver(setup.engine, "nref", [])
+
+    def test_worker_exception_propagates(self):
+        setup, scale = _nref_engine(shard_count=2)
+        lists = [point_query_statements(3, scale),
+                 ["select broken from nowhere"]]
+        driver = ThreadedDriver(setup.engine, "nref", lists)
+        try:
+            with pytest.raises(Exception):
+                driver.run_pass()
+        finally:
+            driver.close()
+
+
+class TestThreadMode:
+    def test_check_passes_on_clean_run(self):
+        report, violations = run_thread_mode(
+            sessions=5, statements_per_session=15, proteins=20,
+            shard_count=4, poll_workers=2, check=True)
+        assert violations == []
+        assert report.statements == 75
+        assert report.errors == 0
+
+    def test_verifier_flags_duplicate_src_seq(self):
+        config = EngineConfig(monitor=MonitorConfig(shard_count=2))
+        setup = daemon_setup("nref", config=config)
+        scale = NrefScale(proteins=10)
+        load_nref(setup.engine.database("nref"), scale)
+        driver = ThreadedDriver(
+            setup.engine, "nref",
+            [point_query_statements(4, scale, seed=300 + i)
+             for i in range(2)])
+        try:
+            driver.run_pass()
+            # Corrupt the history: persist one workload row twice under
+            # the same src_seq.
+            seq = encode_seq(10**6, 0)
+            row = (1, 9, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                   0.0, 0.0, 0, 0, 0, 0, "", 0.0)
+            setup.workload_db.append(
+                "wl_workload", [row, row],
+                captured_at=setup.engine.clock.now(), seqs=[seq, seq])
+            violations = verify_persisted_invariants(
+                setup, driver.session_ids)
+        finally:
+            driver.close()
+        assert any("duplicate src_seq" in v for v in violations)
+
+    def test_verifier_flags_misattributed_session(self):
+        config = EngineConfig(monitor=MonitorConfig(shard_count=2))
+        setup = daemon_setup("nref", config=config)
+        scale = NrefScale(proteins=10)
+        load_nref(setup.engine.database("nref"), scale)
+        driver = ThreadedDriver(
+            setup.engine, "nref",
+            [point_query_statements(4, scale, seed=400 + i)
+             for i in range(2)])
+        try:
+            driver.run_pass()
+            # session 9 hashes to shard 1 (9 % 2) but the seq says 0.
+            row = (1, 9, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                   0.0, 0.0, 0, 0, 0, 0, "", 0.0)
+            setup.workload_db.append(
+                "wl_workload", [row],
+                captured_at=setup.engine.clock.now(),
+                seqs=[encode_seq(10**6, 0)])
+            violations = verify_persisted_invariants(
+                setup, driver.session_ids)
+        finally:
+            driver.close()
+        assert any("expected" in v for v in violations)
+
+
+class TestProcessMode:
+    def test_process_smoke(self):
+        report = run_process_mode(sessions=2, statements_per_session=8,
+                                  proteins=10)
+        assert report.mode == "process"
+        assert report.statements == 16
+        assert report.errors == 0
+        assert report.wallclock_s > 0
+
+
+class TestDriverCli:
+    def test_thread_mode_with_check_exits_zero(self, capsys):
+        code = driver_main(["--sessions", "3", "--statements", "8",
+                            "--proteins", "12", "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"violations": []' in out
+        assert '"shard_count": 3' in out
