@@ -133,7 +133,7 @@ class StorageDaemon:
         # each value is the per-shard vector of *encoded* high-water
         # seqs (see module doc for why a merged-space scalar is wrong).
         self._last_seq: dict[str, list[int]] = {
-            # staticcheck: shared(_lock); bounded(TABLE_SOURCES)
+            # staticcheck: shared(_lock); bounded(TABLE_SOURCES); domain(encoded_seq)
             source: [0] * self.shard_count
             for source in TABLE_SOURCES.values()
         }
@@ -381,7 +381,7 @@ class StorageDaemon:
                 result = session.execute(
                     query_prefix[ima_table, shard] + str(marks[shard]))
                 for row in result.rows:
-                    seq = row[0]
+                    seq = row[0]  # staticcheck: domain(encoded_seq)
                     if seq > marks[shard]:
                         marks[shard] = seq
                     append_row((seq, tuple(row[2:])))  # staticcheck: allocfree(row-materialization-is-the-product)

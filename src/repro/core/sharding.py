@@ -54,7 +54,21 @@ SHARD_STRIDE = 64
 
 
 def encode_seq(local_seq: int, shard_id: int) -> int:
-    """Merge a shard-local sequence number into the global seq space."""
+    """Merge a shard-local sequence number into the global seq space.
+
+    Raises :class:`ValueError` instead of silently corrupting the
+    encoding: a ``shard_id`` outside ``[0, SHARD_STRIDE)`` would alias
+    another shard's seq space, and a negative ``local_seq`` would
+    produce encodings that decode to the wrong shard.
+    """
+    if shard_id < 0 or shard_id >= SHARD_STRIDE:
+        raise ValueError(
+            f"shard_id {shard_id} outside [0, {SHARD_STRIDE}): the "
+            f"encoding cannot represent it without aliasing")
+    if local_seq < 0:
+        raise ValueError(
+            f"local_seq {local_seq} is negative: encodings would "
+            f"decode to the wrong shard")
     return local_seq * SHARD_STRIDE + shard_id
 
 

@@ -93,6 +93,29 @@ The inferred map is exported as an artifact (``repro lint
 --ownership-map``, JSON schema v5) and corroborated at runtime by
 :mod:`repro.core.accesswitness` during ``repro chaos --witness``.
 
+An *integer-domain* phase (:mod:`repro.staticcheck.domains` +
+:mod:`repro.staticcheck.rules_domains`) types the id-valued ``int``s
+the sharded monitor overloads — ``local_seq``, ``encoded_seq``,
+persisted ``src_seq``, ``shard_id``, ``shard_index``, ``session_id``
+— seeding from known producers (``encode_seq``, ``shard_of_seq``,
+``RingBuffer.append``), carrier parameter names and
+``# staticcheck: domain(...)`` declarations, and propagating through
+calls, returns, tuple unpacking and container element flow:
+
+* **Cross-domain mixing** (``DOM001``) — comparing/combining ints of
+  different domains, or ordering encoded seqs without a per-shard
+  anchor (the unsound scalar high-water).
+* **Local-seq escape** (``DOM002``) — an unencoded value flowing into
+  a parameter expecting an encoded ``src_seq``.
+* **Missing ``% shard_count``** (``DOM003``) — a per-shard structure
+  indexed by a raw session/seq-domain int.
+* **Domain drift** (``DOM004``) — a ``domain(...)`` declaration the
+  inference contradicts.
+
+Deliberate cross-domain meetings are waived with
+``# staticcheck: mixeddomain(<witness>)``; the inferred map is
+exported with ``repro lint --domain-map`` (JSON schema v6).
+
 Analysis is *incremental* and *budgeted*: ``--cache`` persists results
 under ``.staticcheck-cache/`` keyed by content hash, rule-set version
 and call-graph dependency fingerprint so a warm run re-analyzes
@@ -131,6 +154,12 @@ from repro.staticcheck.driver import (
     analyze_paths,
     analyze_project,
 )
+from repro.staticcheck.domains import (
+    DomainResult,
+    compute_domain_map,
+    compute_domains,
+    domains_for,
+)
 from repro.staticcheck.findings import Finding, Severity, TraceEntry
 from repro.staticcheck.lockflow import DeepContext, LockFlow
 from repro.staticcheck.ownership import (
@@ -156,6 +185,7 @@ from repro.staticcheck import rules_deep  # noqa: F401
 from repro.staticcheck import rules_atomic  # noqa: F401
 from repro.staticcheck import rules_perf  # noqa: F401
 from repro.staticcheck import rules_ownership  # noqa: F401
+from repro.staticcheck import rules_domains  # noqa: F401
 
 __all__ = [
     "AnalysisCache",
@@ -164,6 +194,7 @@ __all__ = [
     "AttrFlowResult",
     "CacheStats",
     "DeepContext",
+    "DomainResult",
     "Finding",
     "LockFlow",
     "ModuleContext",
@@ -180,8 +211,11 @@ __all__ = [
     "analyze_paths",
     "analyze_project",
     "build_project",
+    "compute_domain_map",
+    "compute_domains",
     "compute_ownership",
     "compute_ownership_map",
+    "domains_for",
     "file_dependencies",
     "git_changed_files",
     "load_config",

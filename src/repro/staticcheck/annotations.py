@@ -48,6 +48,23 @@ Annotations are ordinary comments attached to the line they govern:
   analysis (OWN rules) verifies the claim against the inferred
   thread-role map and reports drift (OWN003); the role argument is
   mandatory — a bare ``owned()`` asserts nothing.
+* ``# staticcheck: domain(<dom>, <param>=<dom>)`` — declares integer
+  domains for the domain dataflow (DOM rules).  On (or directly
+  above) a ``def`` line: bare arguments give the return domain, in
+  tuple order (``domain(local_seq, shard_id)`` for a pair), and
+  ``param=dom`` arguments type parameters
+  (``domain(seqs=src_seq)``).  On an attribute assignment: the
+  field's element domain (``domain(encoded_seq)`` on a dict of
+  encoded seqs).  On a plain local assignment: a forced local domain
+  for values the inference cannot see, such as column reads
+  (``seq = row[-1]  # staticcheck: domain(src_seq)``).  Domains come
+  from the fixed lattice ``local_seq`` / ``encoded_seq`` /
+  ``src_seq`` / ``shard_id`` / ``shard_index`` / ``session_id``.
+* ``# staticcheck: mixeddomain(<witness>)`` — on (or directly above)
+  a line a DOM rule reports: the cross-domain meeting is deliberate
+  and sound, and the witness names why
+  (``mixeddomain(whole-table-inspection-only)``).  The witness is
+  mandatory: a bare ``mixeddomain()`` does not waive anything.
 * ``# staticcheck: ignore`` / ``# staticcheck: ignore[LCK001,CLK001]``
   — suppress all / the listed findings reported for this line.
 
@@ -69,7 +86,7 @@ _DIRECTIVE_RE = re.compile(
 
 KNOWN_DIRECTIVES = ("shared", "guarded-by", "bounded", "atomic",
                     "hotpath", "coldpath", "allocfree", "owned",
-                    "ignore")
+                    "domain", "mixeddomain", "ignore")
 
 
 @dataclass(frozen=True)

@@ -35,9 +35,11 @@ from repro.staticcheck.base import rule_ids
 from repro.staticcheck.config import StaticcheckConfig
 from repro.staticcheck.findings import Finding
 
-RULESET_VERSION = 5
+RULESET_VERSION = 6
 """Bumped whenever rule semantics change in a way that invalidates
 previously cached findings (new rule family, changed detection logic).
+Version 6: DOM001–DOM004 integer-domain rules and the
+``domain(...)``/``mixeddomain(<witness>)`` annotation grammar.
 Version 5: OWN001–OWN003 thread-ownership rules and the
 ``owned(<role>)`` annotation grammar.
 Version 4: PRF001–PRF005 hot-path performance rules and the

@@ -59,6 +59,8 @@ _HOTNESS_DIRECTIVES = ("hotpath", "coldpath", "allocfree")
 
 _OWNERSHIP_DIRECTIVES = ("owned", "shared")
 
+_DOMAIN_DIRECTIVES = ("domain", "mixeddomain")
+
 
 def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     """The ``--changed`` file set: files under ``paths`` changed since
@@ -71,7 +73,10 @@ def _changed_targets(paths: Sequence[str]) -> list[str] | None:
     roles flow caller → callee from ``threading.Thread`` start sites,
     so a changed file containing a start site or an
     ``owned``/``shared`` directive re-classifies every file it
-    transitively calls.  None means "no git" — the caller falls back
+    transitively calls.  Integer domains flow the same way — a
+    ``domain(...)`` declaration on a producer re-types every caller —
+    so changed files carrying ``domain``/``mixeddomain`` directives
+    forward-seed too.  None means "no git" — the caller falls back
     to a full run."""
     changed = git_changed_files()
     if changed is None:
@@ -101,7 +106,8 @@ def _changed_targets(paths: Sequence[str]) -> list[str] | None:
         modules.append(module)
         if path in in_scope and any(
                 directive.name in (*_HOTNESS_DIRECTIVES,
-                                   *_OWNERSHIP_DIRECTIVES)
+                                   *_OWNERSHIP_DIRECTIVES,
+                                   *_DOMAIN_DIRECTIVES)
                 for directives in module.annotations.values()
                 for directive in directives):
             forward_seeds.append(path)
@@ -171,6 +177,28 @@ def _emit_ownership_map(paths: Sequence[str], destination: str) -> int:
     return 0
 
 
+def _emit_domain_map(paths: Sequence[str], destination: str) -> int:
+    """``--domain-map``: run the integer-domain phase over ``paths``
+    and emit the map as a schema-v6 report (``-`` = stdout), with the
+    same argparse path-reinterpretation as ``--ownership-map``."""
+    from repro.staticcheck.domains import compute_domain_map
+
+    target = Path(destination)
+    if destination != "-" and (target.is_dir() or (
+            target.suffix == ".py" and target.exists())):
+        paths = [destination, *[p for p in paths if p != destination]]
+        destination = "-"
+    config = load_config(Path(paths[0]))
+    result = compute_domain_map(paths=paths, config=config)
+    payload = render_json([], domains=result.to_json())
+    if destination == "-":
+        print(payload)
+    else:
+        Path(destination).write_text(payload + "\n", encoding="utf-8")
+        print(f"repro lint: domain map written to {destination}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
@@ -215,7 +243,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--ownership-map", nargs="?", const="-",
                         default=None, metavar="PATH",
                         help="emit the inferred thread-ownership map "
-                             "(JSON schema v5) for the analyzed paths "
+                             "(JSON schema v6) for the analyzed paths "
+                             "to PATH (default: stdout) and exit")
+    parser.add_argument("--domain-map", nargs="?", const="-",
+                        default=None, metavar="PATH",
+                        help="emit the inferred integer-domain map "
+                             "(JSON schema v6) for the analyzed paths "
                              "to PATH (default: stdout) and exit")
     arguments = parser.parse_args(argv)
 
@@ -233,6 +266,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.ownership_map is not None:
         return _emit_ownership_map(arguments.paths,
                                    arguments.ownership_map)
+
+    if arguments.domain_map is not None:
+        return _emit_domain_map(arguments.paths, arguments.domain_map)
 
     config = load_config(Path(arguments.paths[0]))
     cache = (AnalysisCache.open(arguments.cache_dir, config)

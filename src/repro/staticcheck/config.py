@@ -158,6 +158,58 @@ class StaticcheckConfig:
     scoped, so adopting the rules module-by-module does not require
     the whole tree to be ownership-clean at once."""
 
+    domain_scope_paths: tuple[str, ...] = (
+        "*repro/core/sharding.py",
+        "*repro/core/daemon.py",
+        "*repro/core/workload_db.py",
+        "*repro/core/ring_buffer.py",
+        "*repro/core/ima.py",
+        "*repro/workloads/driver.py",
+        "*repro/bench.py",
+    )
+    """Modules where the integer-domain rules (DOM001–DOM004) report
+    findings — the sharded-monitoring path whose plain ``int``s carry
+    incompatible meanings (local vs encoded vs persisted seqs, shard
+    vs session ids).  As with the other deep scopes, *inference* is
+    whole-program; only reporting is scoped."""
+
+    domain_seed_returns: tuple[str, ...] = (
+        "repro.core.sharding.encode_seq=encoded_seq",
+        "repro.core.sharding.decode_seq=local_seq/shard_id",
+        "repro.core.sharding.shard_of_seq=shard_id",
+        "repro.core.sharding.ShardedMonitor.shard_id_for=shard_index",
+        "repro.core.ring_buffer.RingBuffer.append=local_seq",
+        "repro.core.workload_db.WorkloadDatabase.load_high_water_vector"
+        "=src_seq",
+    )
+    """Known producers, as ``"qualname=dom"`` (``dom1/dom2`` for
+    tuple-valued returns): calls resolving to these qualnames yield
+    the given domain.  Functions listed here are exempt from site
+    collection — their bodies *implement* the encoding."""
+
+    domain_name_seeds: tuple[str, ...] = (
+        "session_id=session_id",
+        "shard_id=shard_id",
+        "shard_index=shard_index",
+        "local_seq=local_seq",
+        "src_seq=src_seq",
+        "merged_seq=encoded_seq",
+        "encoded_seq=encoded_seq",
+        "high_water=encoded_seq",
+    )
+    """Parameter/attribute names that carry their domain, as
+    ``"name=dom"``.  Deliberately minimal and never applied to bare
+    locals; an unqualified ``seq`` seeds nothing."""
+
+    domain_merge_helpers: tuple[str, ...] = (
+        "*.MergedRingView.*",
+        "*.MergedKeyedView.*",
+        "*.load_high_water_vector",
+    )
+    """Function qualname patterns exempt from the DOM001 encoded-seq
+    ordering check: the k-way merge views and the per-shard recovery
+    vector implement the cross-shard ordering themselves."""
+
     rule_budget_default_s: float = 5.0
     """Per-rule wall-time ceiling in seconds enforced by ``--budget``;
     rules whose accumulated analysis time exceeds it fail the lint

@@ -1,0 +1,1003 @@
+"""Interprocedural integer-domain dataflow for id-valued ints.
+
+PR 8's sharded monitoring deliberately overloads plain ``int``s with
+incompatible meanings: a shard-local ring sequence (``local_seq``),
+the merged encoding ``local * SHARD_STRIDE + shard`` published by the
+sharded views (``encoded_seq``), the persisted ``src_seq`` column of
+the workload DB (the same encoding, on disk), a monitor shard id
+(``shard_id``), a position into a per-shard structure after a
+``% shard_count`` (``shard_index``) and a raw ``session_id``.  Mixing
+them type-checks — they are all ``int`` — yet is always a bug: the
+design doc's canonical example is a *scalar* high-water over merged
+seqs, unsound because merged seqs are not time-ordered across shards.
+
+This module assigns every parameter, local, attribute and return in
+the analyzed program a *domain* from the small lattice above (plus
+``unknown``), seeded three ways:
+
+* **producer seeds** — configured qualnames with known return domains
+  (``encode_seq`` → ``encoded_seq``, ``decode_seq`` →
+  ``(local_seq, shard_id)``, ``shard_of_seq`` → ``shard_id``,
+  ``RingBuffer.append`` → ``local_seq``, the snapshot/merge views);
+* **name seeds** — parameter and attribute *names* that carry their
+  domain (``session_id``, ``shard_id``, ``local_seq``, ``src_seq``,
+  ``shard_index``, ``merged_seq``); deliberately not applied to bare
+  locals, and a bare ``seq`` seeds nothing;
+* **declared domains** — the ``# staticcheck: domain(...)`` directive
+  on a ``def`` (bare args are the return domain, in tuple order;
+  ``param=dom`` args type parameters), on an attribute assignment
+  (the field's element domain) or on a local assignment (a forced,
+  join-proof local domain for e.g. ``seq = row[-1]`` column reads).
+
+Domains propagate through assignments, tuple unpacking, calls and
+returns, ``for`` targets and container element flow (a container's
+domain *is* its element domain; for dicts, the value's).  Structural
+conversions are modeled: ``x % n`` maps ``session_id`` → ``shard_index``
+and an encoded seq → ``shard_id``; ``x // n`` maps an encoded seq →
+``local_seq``.  ``dict.get`` deliberately yields ``unknown`` — its
+default argument is almost always a neutral ``0``.
+
+On top of the flow the module collects *sites* — cross-domain
+compares/arithmetic, encoded-seq ordering outside the merge helpers,
+local-seq arguments flowing into ``src_seq`` parameters, forbidden
+subscript indexes, declared-vs-inferred drift — which the DOM rules
+(:mod:`repro.staticcheck.rules_domains`) turn into findings, each
+waivable with an evidenced ``mixeddomain(<witness>)``.
+
+Per-shard *vector* high-waters index by shard before comparing, so any
+ordering whose operands read through a subscript is treated as
+shard-anchored and exempt from the cross-shard ordering check; the
+configured merge helpers (the k-way views, ``load_high_water_vector``)
+are exempt wholesale — their bodies *implement* the ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.staticcheck.callgraph import (
+    CallEdge,
+    FunctionDecl,
+    ProjectContext,
+)
+from repro.staticcheck.config import StaticcheckConfig
+from repro.staticcheck.findings import TraceEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.lockflow import DeepContext
+
+#: The domain lattice.  ``unknown`` is bottom: it joins to anything
+#: and never produces a finding.
+DOMAIN_NAMES = ("local_seq", "encoded_seq", "src_seq", "shard_id",
+                "shard_index", "session_id", "unknown")
+
+UNKNOWN = "unknown"
+
+#: A value's domain.  Length 1 for scalars; longer for tuple-valued
+#: expressions (``decode_seq`` returns ``(local_seq, shard_id)``).
+Dom = tuple[str, ...]
+
+UNKNOWN_DOM: Dom = (UNKNOWN,)
+
+#: Domains that carry the merged ``local*SHARD_STRIDE+shard`` encoding
+#: (in memory and persisted).  Ordering them across shards is the
+#: unsound scalar high-water.
+ENCODED_SPACE = frozenset({"encoded_seq", "src_seq"})
+
+#: Domain pairs that may legitimately meet: an encoded seq is written
+#: to disk as ``src_seq`` unchanged, and a ``shard_id`` from the
+#: encoding is numerically the ``shard_index`` of a full-stride table.
+_COMPATIBLE_PAIRS = frozenset({
+    frozenset({"encoded_seq", "src_seq"}),
+    frozenset({"shard_id", "shard_index"}),
+})
+
+#: Domains that must never index a per-shard structure: using them is
+#: the missing-``% shard_count`` bug (DOM003).  ``shard_id`` and
+#: ``shard_index`` are both allowed — per-shard dicts are keyed by
+#: either, and the two are numerically interchangeable.
+_INDEX_FORBIDDEN = frozenset({"session_id", "local_seq",
+                              "encoded_seq", "src_seq"})
+
+
+def scalar(dom: Dom) -> str:
+    """The scalar domain of ``dom`` (``unknown`` for tuple values)."""
+    return dom[0] if len(dom) == 1 else UNKNOWN
+
+
+def join(a: Dom, b: Dom) -> Dom:
+    """Least upper bound: agreement survives, conflict is unknown."""
+    if a == UNKNOWN_DOM:
+        return b
+    if b == UNKNOWN_DOM:
+        return a
+    if len(a) != len(b):
+        return UNKNOWN_DOM
+    merged = []
+    for left, right in zip(a, b):
+        if left == right:
+            merged.append(left)
+        elif left == UNKNOWN:
+            merged.append(right)
+        elif right == UNKNOWN:
+            merged.append(left)
+        else:
+            merged.append(UNKNOWN)
+    return tuple(merged)
+
+
+def compatible(a: str, b: str) -> bool:
+    """May scalar domains ``a`` and ``b`` legitimately meet?"""
+    if a == b or UNKNOWN in (a, b):
+        return True
+    return frozenset({a, b}) in _COMPATIBLE_PAIRS
+
+
+# -- results ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DomainSite:
+    """One place two domains meet, consumed by the DOM rules.
+
+    ``kind`` is one of ``compare`` / ``arith`` / ``order`` (DOM001),
+    ``argflow`` (DOM002), ``index`` (DOM003), ``drift`` / ``directive``
+    (DOM004)."""
+
+    kind: str
+    path: str
+    line: int
+    column: int
+    function: str
+    left: str
+    right: str
+    note: str
+    trace: tuple[TraceEntry, ...] = ()
+
+
+@dataclass
+class FunctionDomains:
+    """Inferred and declared domains of one function's signature."""
+
+    params: dict[str, Dom] = field(default_factory=dict)
+    """Parameter name -> effective domain (declared > name seed)."""
+    returns: Dom = UNKNOWN_DOM
+    """Effective return domain (declared > producer seed > inferred)."""
+    inferred_returns: Dom = UNKNOWN_DOM
+    """Raw inferred return domain, kept for DOM004 drift detection."""
+    declared_returns: Dom | None = None
+    declared_line: int | None = None
+
+
+@dataclass
+class DomainResult:
+    """The whole-program domain map."""
+
+    functions: dict[str, FunctionDomains] = field(default_factory=dict)
+    fields: dict[str, Dom] = field(default_factory=dict)
+    """``Class.attr`` token -> effective element domain."""
+    inferred_fields: dict[str, Dom] = field(default_factory=dict)
+    """Raw inferred field domains (DOM004 drift detection)."""
+    declared_fields: dict[str, tuple[Dom, str, int]] = \
+        field(default_factory=dict)
+    """``Class.attr`` -> (declared domain, path, line)."""
+    sites: list[DomainSite] = field(default_factory=list)
+    return_seeds: dict[str, Dom] = field(default_factory=dict)
+    name_seeds: dict[str, str] = field(default_factory=dict)
+    merge_helpers: tuple[str, ...] = ()
+
+    def param_domain(self, qualname: str, param: str) -> str:
+        """Scalar domain of ``param`` on ``qualname`` (``unknown`` when
+        the function or parameter is untyped)."""
+        info = self.functions.get(qualname)
+        if info is None:
+            return UNKNOWN
+        return scalar(info.params.get(param, UNKNOWN_DOM))
+
+    def return_domain(self, qualname: str) -> Dom:
+        info = self.functions.get(qualname)
+        return info.returns if info is not None else UNKNOWN_DOM
+
+    def to_json(self) -> dict[str, Any]:
+        """The domain-map artifact (``repro lint --domain-map``)."""
+        functions: dict[str, Any] = {}
+        for qualname in sorted(self.functions):
+            info = self.functions[qualname]
+            params = {name: "/".join(dom)
+                      for name, dom in sorted(info.params.items())
+                      if dom != UNKNOWN_DOM}
+            if not params and info.returns == UNKNOWN_DOM:
+                continue
+            entry: dict[str, Any] = {"params": params,
+                                     "returns": "/".join(info.returns)}
+            if info.declared_returns is not None:
+                entry["declared_returns"] = "/".join(info.declared_returns)
+            functions[qualname] = entry
+        fields = {token: "/".join(dom)
+                  for token, dom in sorted(self.fields.items())
+                  if dom != UNKNOWN_DOM}
+        return {
+            "generated_by": "repro.staticcheck.domains",
+            "version": 1,
+            "lattice": list(DOMAIN_NAMES),
+            "seeds": {
+                "returns": {q: "/".join(dom) for q, dom
+                            in sorted(self.return_seeds.items())},
+                "names": dict(sorted(self.name_seeds.items())),
+                "merge_helpers": list(self.merge_helpers),
+            },
+            "functions": functions,
+            "fields": fields,
+        }
+
+
+# -- seed parsing -------------------------------------------------------------
+
+
+def _parse_dom(text: str) -> Dom | None:
+    parts = tuple(p.strip() for p in text.split("/") if p.strip())
+    if not parts or any(p not in DOMAIN_NAMES for p in parts):
+        return None
+    return parts
+
+
+def parse_return_seeds(config: StaticcheckConfig) -> dict[str, Dom]:
+    """``"qualname=dom"`` / ``"qualname=dom1/dom2"`` entries of
+    ``domain_seed_returns``, keyed by exact callee qualname (internal
+    edges and fixture-side external edges both carry it)."""
+    seeds: dict[str, Dom] = {}
+    for entry in config.domain_seed_returns:
+        qualname, _, rhs = entry.partition("=")
+        dom = _parse_dom(rhs)
+        if qualname.strip() and dom is not None:
+            seeds[qualname.strip()] = dom
+    return seeds
+
+
+def parse_name_seeds(config: StaticcheckConfig) -> dict[str, str]:
+    """``"name=dom"`` entries of ``domain_name_seeds`` — scalar domains
+    carried by parameter and attribute names."""
+    seeds: dict[str, str] = {}
+    for entry in config.domain_name_seeds:
+        name, _, rhs = entry.partition("=")
+        dom = rhs.strip() or name.strip()
+        if name.strip() and dom in DOMAIN_NAMES:
+            seeds[name.strip()] = dom
+    return seeds
+
+
+# -- annotation harvesting ----------------------------------------------------
+
+
+def _split_directive_args(args: tuple[str, ...],
+                          ) -> tuple[tuple[str, ...], dict[str, str]]:
+    """Bare args (return/forced domain, in order) and ``k=v`` args."""
+    bare: list[str] = []
+    named: dict[str, str] = {}
+    for arg in args:
+        name, sep, value = arg.partition("=")
+        if sep:
+            named[name.strip()] = value.strip()
+        else:
+            bare.append(arg.strip())
+    return tuple(bare), named
+
+
+class _Declared:
+    """Every ``domain(...)`` directive in the program, resolved to the
+    construct it annotates, plus the invalid ones (DOM004 sites)."""
+
+    def __init__(self) -> None:
+        self.fn_returns: dict[str, tuple[Dom, int]] = {}
+        self.fn_params: dict[str, dict[str, Dom]] = {}
+        self.fields: dict[str, tuple[Dom, str, int]] = {}
+        self.locals: dict[str, dict[int, Dom]] = {}
+        """Function qualname -> directive line -> forced domain."""
+        self.invalid: list[DomainSite] = []
+
+    def _bad(self, path: str, line: int, function: str,
+             text: str) -> None:
+        self.invalid.append(DomainSite(
+            kind="directive", path=path, line=line, column=0,
+            function=function, left=text, right="",
+            note=(f"domain({text}) names no known domain; the lattice "
+                  f"is {', '.join(DOMAIN_NAMES)}")))
+
+    def harvest_function(self, decl: FunctionDecl) -> None:
+        directive = decl.module.function_directive(decl.node, "domain")
+        if directive is None:
+            return
+        bare, named = _split_directive_args(directive.args)
+        if bare:
+            dom = _parse_dom("/".join(bare))
+            if dom is None:
+                self._bad(decl.module.path, directive.line,
+                          decl.qualname, ", ".join(bare))
+            else:
+                self.fn_returns[decl.qualname] = (dom, directive.line)
+        for param, text in named.items():
+            dom = _parse_dom(text)
+            if dom is None:
+                self._bad(decl.module.path, directive.line,
+                          decl.qualname, f"{param}={text}")
+            else:
+                self.fn_params.setdefault(decl.qualname, {})[param] = dom
+
+    def harvest_statement(self, decl: FunctionDecl,
+                          stmt: ast.stmt) -> None:
+        """``domain(...)`` on an assignment line: a field domain for a
+        ``self.attr`` target, a forced local domain otherwise."""
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        end = getattr(stmt, "end_lineno", None) or stmt.lineno
+        for line in range(stmt.lineno, end + 1):
+            for directive in decl.module.directives(line, "domain"):
+                bare, named = _split_directive_args(directive.args)
+                if named or not bare:
+                    self._bad(decl.module.path, directive.line,
+                              decl.qualname, ", ".join(directive.args)
+                              or "<empty>")
+                    continue
+                dom = _parse_dom("/".join(bare))
+                if dom is None:
+                    self._bad(decl.module.path, directive.line,
+                              decl.qualname, ", ".join(bare))
+                    continue
+                attr = _self_attr_target(stmt)
+                if attr is not None and decl.class_qualname is not None:
+                    token = f"{decl.class_qualname}.{attr}"
+                    self.fields[token] = (dom, decl.module.path,
+                                          directive.line)
+                else:
+                    self.locals.setdefault(decl.qualname, {})[
+                        stmt.lineno] = dom
+
+
+def _self_attr_target(stmt: ast.stmt) -> str | None:
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target]
+    for target in targets:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return target.attr
+    return None
+
+
+# -- per-function walking -----------------------------------------------------
+
+
+def _own_nodes(root: ast.AST) -> Iterable[ast.AST]:
+    """``ast.walk`` that does not descend into nested function or
+    lambda bodies — their locals live in a different scope and their
+    statements must not pollute the enclosing function's environment
+    (the daemon's poll-group closures, the IMA row builders)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_STRUCTURAL_UNKNOWN = frozenset({"get", "keys", "len", "range", "abs",
+                                 "id", "hash", "sum"})
+_PASS_THROUGH = frozenset({"list", "tuple", "set", "sorted", "int",
+                           "values", "reversed", "iter", "next"})
+
+
+class _FunctionEnv:
+    """Flow-insensitive name environment of one function."""
+
+    def __init__(self) -> None:
+        self.env: dict[str, Dom] = {}
+        self.forced: set[str] = set()
+        self.origins: dict[str, TraceEntry] = {}
+
+    def bind(self, name: str, dom: Dom, *, force: bool = False,
+             origin: TraceEntry | None = None) -> None:
+        if name in self.forced and not force:
+            return
+        if force:
+            self.forced.add(name)
+            self.env[name] = dom
+        else:
+            self.env[name] = join(self.env.get(name, UNKNOWN_DOM), dom)
+        if (origin is not None and self.env[name] != UNKNOWN_DOM
+                and name not in self.origins):
+            self.origins[name] = origin
+
+    def dom_of(self, name: str) -> Dom:
+        return self.env.get(name, UNKNOWN_DOM)
+
+
+class DomainFlow:
+    """The propagation engine.  One instance analyzes one project."""
+
+    #: Outer interprocedural passes: enough for a producer's return to
+    #: reach a caller's field and that field's reader in turn.
+    _PASSES = 3
+    #: Inner flow-insensitive sweeps per function body.
+    _SWEEPS = 4
+
+    def __init__(self, project: ProjectContext,
+                 config: StaticcheckConfig) -> None:
+        self.project = project
+        self.config = config
+        self.return_seeds = parse_return_seeds(config)
+        self.name_seeds = parse_name_seeds(config)
+        self.merge_helpers = config.domain_merge_helpers
+        self.declared = _Declared()
+        self.inferred_returns: dict[str, Dom] = {}
+        self.inferred_fields: dict[str, Dom] = {}
+        self._edge_maps: dict[str, dict[int, CallEdge]] = {}
+
+    # -- seed/declared lookups ------------------------------------------------
+
+    def _is_merge_helper(self, qualname: str) -> bool:
+        return any(fnmatch(qualname, pattern)
+                   for pattern in self.merge_helpers)
+
+    def _callee_returns(self, callee: str) -> Dom:
+        declared = self.declared.fn_returns.get(callee)
+        if declared is not None:
+            return declared[0]
+        seeded = self.return_seeds.get(callee)
+        if seeded is not None:
+            return seeded
+        return self.inferred_returns.get(callee, UNKNOWN_DOM)
+
+    def _param_dom(self, callee: str, param: str) -> Dom:
+        declared = self.declared.fn_params.get(callee, {}).get(param)
+        if declared is not None:
+            return declared
+        seeded = self.name_seeds.get(param)
+        if seeded is not None:
+            return (seeded,)
+        return UNKNOWN_DOM
+
+    def _field_dom(self, class_qualname: str | None,
+                   attr: str) -> Dom:
+        if class_qualname is not None:
+            token = f"{class_qualname}.{attr}"
+            declared = self.declared.fields.get(token)
+            if declared is not None:
+                return declared[0]
+            inferred = self.inferred_fields.get(token)
+            if inferred is not None and inferred != UNKNOWN_DOM:
+                return inferred
+        seeded = self.name_seeds.get(attr)
+        return (seeded,) if seeded is not None else UNKNOWN_DOM
+
+    def _edges_by_node(self, qualname: str) -> dict[int, CallEdge]:
+        cached = self._edge_maps.get(qualname)
+        if cached is None:
+            cached = {id(edge.node): edge
+                      for edge in self.project.calls_from(qualname)}
+            self._edge_maps[qualname] = cached
+        return cached
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(self, decl: FunctionDecl, env: _FunctionEnv,
+              node: ast.expr) -> Dom:
+        if isinstance(node, ast.Name):
+            return env.dom_of(node.id)
+        if isinstance(node, ast.Constant):
+            return UNKNOWN_DOM
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                return self._field_dom(decl.class_qualname, node.attr)
+            seeded = self.name_seeds.get(node.attr)
+            return (seeded,) if seeded is not None else UNKNOWN_DOM
+        if isinstance(node, ast.Call):
+            return self._eval_call(decl, env, node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(decl, env, node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(decl, env, node)
+        if isinstance(node, ast.Tuple):
+            return tuple(scalar(self._eval(decl, env, elt))
+                         for elt in node.elts) or UNKNOWN_DOM
+        if isinstance(node, (ast.List, ast.Set)):
+            dom: Dom = UNKNOWN_DOM
+            for elt in node.elts:
+                dom = join(dom, (scalar(self._eval(decl, env, elt)),))
+            return dom
+        if isinstance(node, ast.IfExp):
+            return join(self._eval(decl, env, node.body),
+                        self._eval(decl, env, node.orelse))
+        if isinstance(node, ast.BoolOp):
+            dom = UNKNOWN_DOM
+            for value in node.values:
+                dom = join(dom, self._eval(decl, env, value))
+            return dom
+        if isinstance(node, ast.NamedExpr):
+            return self._eval(decl, env, node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(decl, env, node.value)
+        return UNKNOWN_DOM
+
+    def _eval_call(self, decl: FunctionDecl, env: _FunctionEnv,
+                   node: ast.Call) -> Dom:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in ("max", "min") and node.args:
+            dom: Dom = UNKNOWN_DOM
+            for arg in node.args:
+                dom = join(dom, (scalar(self._eval(decl, env, arg)),))
+            return dom
+        if name == "enumerate" and node.args:
+            elem = scalar(self._eval(decl, env, node.args[0]))
+            return (UNKNOWN, elem)
+        if name == "items" and isinstance(func, ast.Attribute):
+            value = scalar(self._eval(decl, env, func.value))
+            return (UNKNOWN, value)
+        if name in _STRUCTURAL_UNKNOWN:
+            return UNKNOWN_DOM
+        if name in _PASS_THROUGH:
+            if isinstance(func, ast.Attribute):
+                return self._eval(decl, env, func.value)
+            if node.args:
+                return self._eval(decl, env, node.args[0])
+            return UNKNOWN_DOM
+        edge = self._edges_by_node(decl.qualname).get(id(node))
+        if edge is not None:
+            return self._callee_returns(edge.callee)
+        return UNKNOWN_DOM
+
+    def _eval_binop(self, decl: FunctionDecl, env: _FunctionEnv,
+                    node: ast.BinOp) -> Dom:
+        left = scalar(self._eval(decl, env, node.left))
+        if isinstance(node.op, ast.Mod):
+            if left == "session_id":
+                return ("shard_index",)
+            if left in ENCODED_SPACE:
+                return ("shard_id",)
+            return UNKNOWN_DOM
+        if isinstance(node.op, ast.FloorDiv):
+            if left in ENCODED_SPACE:
+                return ("local_seq",)
+            return UNKNOWN_DOM
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            right = scalar(self._eval(decl, env, node.right))
+            if left == right and left != UNKNOWN:
+                return (left,)
+            # ``seq + 1`` keeps its domain; mixing two known domains
+            # goes to unknown (the arith site reports it separately).
+            if right == UNKNOWN and left != UNKNOWN \
+                    and isinstance(node.right, ast.Constant):
+                return (left,)
+            if left == UNKNOWN and right != UNKNOWN \
+                    and isinstance(node.left, ast.Constant):
+                return (right,)
+            return UNKNOWN_DOM
+        return UNKNOWN_DOM
+
+    def _eval_subscript(self, decl: FunctionDecl, env: _FunctionEnv,
+                        node: ast.Subscript) -> Dom:
+        value = self._eval(decl, env, node.value)
+        if isinstance(node.slice, ast.Slice):
+            return value
+        if len(value) > 1:
+            index = node.slice
+            if isinstance(index, ast.Constant) \
+                    and isinstance(index.value, int):
+                position = index.value
+                if -len(value) <= position < len(value):
+                    return (value[position],)
+                return UNKNOWN_DOM
+            return UNKNOWN_DOM
+        # Scalar container convention: element domain == container
+        # domain (a per-shard vector of encoded seqs *is* encoded).
+        return value
+
+    # -- statement sweep ------------------------------------------------------
+
+    def _initial_env(self, decl: FunctionDecl) -> _FunctionEnv:
+        env = _FunctionEnv()
+        args = decl.node.args
+        declared = self.declared.fn_params.get(decl.qualname, {})
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            dom = declared.get(arg.arg)
+            if dom is None:
+                seeded = self.name_seeds.get(arg.arg)
+                dom = (seeded,) if seeded is not None else None
+            if dom is not None:
+                env.bind(arg.arg, dom, force=True, origin=TraceEntry(
+                    path=decl.module.path, line=decl.node.lineno,
+                    function=decl.qualname,
+                    note=f"parameter {arg.arg} is {'/'.join(dom)}"))
+        return env
+
+    def _assign_target(self, decl: FunctionDecl, env: _FunctionEnv,
+                       target: ast.expr, dom: Dom, line: int,
+                       forced: Dom | None) -> None:
+        if isinstance(target, ast.Name):
+            use = forced if forced is not None else dom
+            env.bind(target.id, use, force=forced is not None,
+                     origin=TraceEntry(
+                         path=decl.module.path, line=line,
+                         function=decl.qualname,
+                         note=f"{target.id} <- {'/'.join(use)}"))
+            return
+        if isinstance(target, ast.Tuple):
+            use = forced if forced is not None else dom
+            for position, elt in enumerate(target.elts):
+                if not isinstance(elt, ast.Name):
+                    continue
+                if len(use) == len(target.elts):
+                    element: Dom = (use[position],)
+                elif len(use) == 1:
+                    element = use
+                else:
+                    element = UNKNOWN_DOM
+                env.bind(elt.id, element, force=forced is not None,
+                         origin=TraceEntry(
+                             path=decl.module.path, line=line,
+                             function=decl.qualname,
+                             note=f"{elt.id} <- {'/'.join(element)}"))
+            return
+        attr = _self_attr_of(target)
+        if attr is not None and decl.class_qualname is not None:
+            token = f"{decl.class_qualname}.{attr}"
+            self.inferred_fields[token] = join(
+                self.inferred_fields.get(token, UNKNOWN_DOM),
+                (scalar(dom),))
+
+    def _sweep(self, decl: FunctionDecl, env: _FunctionEnv) -> Dom:
+        """One flow-insensitive pass over the body; returns the joined
+        domain of every ``return`` expression."""
+        forced_lines = self.declared.locals.get(decl.qualname, {})
+        returns: Dom = UNKNOWN_DOM
+        for node in _own_nodes(decl.node):
+            if isinstance(node, ast.Assign):
+                dom = self._eval(decl, env, node.value)
+                forced = forced_lines.get(node.lineno)
+                for target in node.targets:
+                    self._assign_target(decl, env, target, dom,
+                                        node.lineno, forced)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                dom = self._eval(decl, env, node.value)
+                forced = forced_lines.get(node.lineno)
+                self._assign_target(decl, env, node.target, dom,
+                                    node.lineno, forced)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    dom = self._eval(decl, env, ast.BinOp(
+                        left=ast.copy_location(
+                            ast.Name(id=node.target.id, ctx=ast.Load()),
+                            node),
+                        op=node.op, right=node.value))
+                    env.bind(node.target.id, dom)
+            elif isinstance(node, ast.For):
+                dom = self._eval(decl, env, node.iter)
+                self._assign_target(decl, env, node.target, dom,
+                                    node.lineno, None)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                returns = join(returns,
+                               self._eval(decl, env, node.value))
+        return returns
+
+    # -- driving --------------------------------------------------------------
+
+    def analyze(self) -> DomainResult:
+        for decl in self.project.functions.values():
+            self.declared.harvest_function(decl)
+            for node in _own_nodes(decl.node):
+                if isinstance(node, ast.stmt):
+                    self.declared.harvest_statement(decl, node)
+        envs: dict[str, _FunctionEnv] = {}
+        for _ in range(self._PASSES):
+            for qualname, decl in self.project.functions.items():
+                env = self._initial_env(decl)
+                returns = UNKNOWN_DOM
+                for _ in range(self._SWEEPS):
+                    before = dict(env.env)
+                    returns = self._sweep(decl, env)
+                    if env.env == before:
+                        break
+                envs[qualname] = env
+                self.inferred_returns[qualname] = returns
+        result = self._build_result(envs)
+        self._collect_sites(result, envs)
+        return result
+
+    def _build_result(self,
+                      envs: dict[str, _FunctionEnv]) -> DomainResult:
+        result = DomainResult(
+            return_seeds=dict(self.return_seeds),
+            name_seeds=dict(self.name_seeds),
+            merge_helpers=tuple(self.merge_helpers),
+        )
+        for qualname, decl in self.project.functions.items():
+            info = FunctionDomains()
+            declared = self.declared.fn_returns.get(qualname)
+            if declared is not None:
+                info.declared_returns, info.declared_line = declared
+            info.inferred_returns = self.inferred_returns.get(
+                qualname, UNKNOWN_DOM)
+            info.returns = self._callee_returns(qualname)
+            args = decl.node.args
+            for arg in (*args.posonlyargs, *args.args,
+                        *args.kwonlyargs):
+                if arg.arg == "self":
+                    continue
+                dom = self._param_dom(qualname, arg.arg)
+                if dom != UNKNOWN_DOM:
+                    info.params[arg.arg] = dom
+            result.functions[qualname] = info
+        for token, (dom, path, line) in self.declared.fields.items():
+            result.fields[token] = dom
+        for token, dom in self.inferred_fields.items():
+            if token not in result.fields and dom != UNKNOWN_DOM:
+                result.fields[token] = dom
+        result.inferred_fields = dict(self.inferred_fields)
+        result.declared_fields = dict(self.declared.fields)
+        return result
+
+    # -- site collection ------------------------------------------------------
+
+    def _origin_trace(self, env: _FunctionEnv,
+                      *nodes: ast.expr) -> tuple[TraceEntry, ...]:
+        trace: list[TraceEntry] = []
+        for node in nodes:
+            for name_node in ast.walk(node):
+                if isinstance(name_node, ast.Name):
+                    origin = env.origins.get(name_node.id)
+                    if origin is not None and origin not in trace:
+                        trace.append(origin)
+        return tuple(trace)
+
+    @staticmethod
+    def _has_subscript(*nodes: ast.expr) -> bool:
+        return any(isinstance(inner, ast.Subscript)
+                   for node in nodes for inner in ast.walk(node))
+
+    def _collect_sites(self, result: DomainResult,
+                       envs: dict[str, _FunctionEnv]) -> None:
+        result.sites.extend(self.declared.invalid)
+        for qualname, decl in self.project.functions.items():
+            env = envs[qualname]
+            producer = qualname in self.return_seeds
+            merge_helper = self._is_merge_helper(qualname)
+            if not producer:
+                self._function_sites(result, decl, env, merge_helper)
+            self._drift_sites(result, decl)
+        self._field_drift_sites(result)
+        result.sites.sort(key=lambda s: (s.path, s.line, s.column,
+                                         s.kind))
+
+    def _field_drift_sites(self, result: DomainResult) -> None:
+        for token, (dom, path, line) in self.declared.fields.items():
+            inferred = self.inferred_fields.get(token, UNKNOWN_DOM)
+            in_scalar = scalar(inferred)
+            de_scalar = scalar(dom)
+            if in_scalar != UNKNOWN and de_scalar != UNKNOWN \
+                    and not compatible(in_scalar, de_scalar):
+                result.sites.append(DomainSite(
+                    kind="drift", path=path, line=line, column=0,
+                    function=token.rsplit(".", 1)[0],
+                    left=de_scalar, right=in_scalar,
+                    note=(f"field {token} declared {de_scalar} but "
+                          f"assignments infer {in_scalar}")))
+
+    def _site(self, result: DomainResult, decl: FunctionDecl,
+              env: _FunctionEnv, node: ast.expr, kind: str,
+              left: str, right: str, note: str,
+              *operands: ast.expr) -> None:
+        result.sites.append(DomainSite(
+            kind=kind, path=decl.module.path, line=node.lineno,
+            column=node.col_offset, function=decl.qualname,
+            left=left, right=right, note=note,
+            trace=self._origin_trace(env, *operands)))
+
+    def _function_sites(self, result: DomainResult, decl: FunctionDecl,
+                        env: _FunctionEnv, merge_helper: bool) -> None:
+        for node in _own_nodes(decl.node):
+            if isinstance(node, ast.Compare):
+                self._compare_sites(result, decl, env, node,
+                                    merge_helper)
+            elif isinstance(node, ast.BinOp):
+                self._arith_site(result, decl, env, node)
+            elif isinstance(node, ast.Subscript):
+                self._index_site(result, decl, env, node)
+            elif isinstance(node, ast.Call):
+                self._order_call_site(result, decl, env, node,
+                                      merge_helper)
+        for edge in self.project.calls_from(decl.qualname):
+            if not edge.external:
+                self._argflow_sites(result, decl, env, edge)
+
+    def _compare_sites(self, result: DomainResult, decl: FunctionDecl,
+                       env: _FunctionEnv, node: ast.Compare,
+                       merge_helper: bool) -> None:
+        operands = [node.left, *node.comparators]
+        for position, op in enumerate(node.ops):
+            left_node = operands[position]
+            right_node = operands[position + 1]
+            if isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot)):
+                continue
+            if isinstance(left_node, ast.Constant) \
+                    or isinstance(right_node, ast.Constant):
+                continue
+            left = scalar(self._eval(decl, env, left_node))
+            right = scalar(self._eval(decl, env, right_node))
+            if UNKNOWN in (left, right):
+                continue
+            ordering = isinstance(op, (ast.Lt, ast.LtE, ast.Gt,
+                                       ast.GtE))
+            if not compatible(left, right):
+                self._site(result, decl, env, node, "compare", left,
+                           right,
+                           f"{left} compared against {right}",
+                           left_node, right_node)
+            elif (ordering and left in ENCODED_SPACE
+                    and right in ENCODED_SPACE and not merge_helper
+                    and not self._has_subscript(left_node, right_node)):
+                self._site(result, decl, env, node, "order", left,
+                           right,
+                           f"scalar ordering of {left} against {right} "
+                           f"without a per-shard anchor",
+                           left_node, right_node)
+
+    def _arith_site(self, result: DomainResult, decl: FunctionDecl,
+                    env: _FunctionEnv, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            return
+        if isinstance(node.left, ast.Constant) \
+                or isinstance(node.right, ast.Constant):
+            return
+        left = scalar(self._eval(decl, env, node.left))
+        right = scalar(self._eval(decl, env, node.right))
+        if UNKNOWN in (left, right) or compatible(left, right):
+            return
+        self._site(result, decl, env, node, "arith", left, right,
+                   f"arithmetic mixes {left} with {right}",
+                   node.left, node.right)
+
+    def _index_site(self, result: DomainResult, decl: FunctionDecl,
+                    env: _FunctionEnv, node: ast.Subscript) -> None:
+        if isinstance(node.slice, (ast.Slice, ast.Constant, ast.Tuple)):
+            return
+        index = scalar(self._eval(decl, env, node.slice))
+        if index not in _INDEX_FORBIDDEN:
+            return
+        self._site(result, decl, env, node, "index", index,
+                   "shard_index",
+                   f"{index} used as a subscript where a shard index "
+                   f"is required", node.slice)
+
+    def _order_call_site(self, result: DomainResult,
+                         decl: FunctionDecl, env: _FunctionEnv,
+                         node: ast.Call, merge_helper: bool) -> None:
+        if merge_helper:
+            return
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name not in ("max", "min") or len(node.args) < 2:
+            return
+        doms = [scalar(self._eval(decl, env, arg))
+                for arg in node.args]
+        if not all(dom in ENCODED_SPACE for dom in doms):
+            return
+        if self._has_subscript(*node.args):
+            return
+        self._site(result, decl, env, node, "order", doms[0], doms[-1],
+                   f"{name}() over encoded seqs without a per-shard "
+                   f"anchor", *node.args)
+
+    def _argflow_sites(self, result: DomainResult, decl: FunctionDecl,
+                       env: _FunctionEnv, edge: CallEdge) -> None:
+        callee = self.project.functions.get(edge.callee)
+        if callee is None:
+            return
+        params = [arg.arg for arg in (*callee.node.args.posonlyargs,
+                                      *callee.node.args.args)]
+        if params and params[0] == "self":
+            params = params[1:]
+        pairs: list[tuple[str, ast.expr]] = list(zip(params,
+                                                     edge.node.args))
+        for keyword in edge.node.keywords:
+            if keyword.arg is not None:
+                pairs.append((keyword.arg, keyword.value))
+        for param, value in pairs:
+            expected = scalar(self._param_dom(edge.callee, param))
+            if expected == UNKNOWN:
+                continue
+            actual = scalar(self._eval(decl, env, value))
+            if actual == UNKNOWN or compatible(actual, expected):
+                continue
+            self._site(
+                result, decl, env, edge.node, "argflow", actual,
+                expected,
+                f"{actual} flows into parameter {param} of "
+                f"{edge.callee}, which expects {expected}", value)
+
+    def _drift_sites(self, result: DomainResult,
+                     decl: FunctionDecl) -> None:
+        declared = self.declared.fn_returns.get(decl.qualname)
+        if declared is not None:
+            dom, line = declared
+            inferred = self.inferred_returns.get(decl.qualname,
+                                                 UNKNOWN_DOM)
+            if (inferred != UNKNOWN_DOM and len(inferred) == len(dom)
+                    and any(not compatible(a, b) and UNKNOWN
+                            not in (a, b)
+                            for a, b in zip(dom, inferred))):
+                result.sites.append(DomainSite(
+                    kind="drift", path=decl.module.path, line=line,
+                    column=0, function=decl.qualname,
+                    left="/".join(dom), right="/".join(inferred),
+                    note=(f"declared return domain {'/'.join(dom)} "
+                          f"but the body returns "
+                          f"{'/'.join(inferred)}")))
+
+
+def _self_attr_of(target: ast.expr) -> str | None:
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"):
+        return target.attr
+    return None
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def compute_domains(deep: "DeepContext",
+                    config: StaticcheckConfig) -> DomainResult:
+    """Run the propagation over an already-built project."""
+    return DomainFlow(deep.project, config).analyze()
+
+
+def domains_for(deep: "DeepContext",
+                config: StaticcheckConfig) -> DomainResult:
+    """Memoized phase on the shared :class:`DeepContext` — the four
+    DOM rules (and the map export) all consume one computation."""
+    if deep.domains is None:
+        deep.domains = compute_domains(deep, config)
+    return deep.domains
+
+
+def compute_domain_map(paths: Iterable[str] | None = None,
+                       config: StaticcheckConfig | None = None,
+                       ) -> DomainResult:
+    """Build the project and run the phase over ``paths`` (default:
+    the installed ``repro`` package sources), mirroring
+    :func:`repro.staticcheck.ownership.compute_ownership_map`."""
+    import pathlib
+
+    from repro.staticcheck.callgraph import build_project
+    from repro.staticcheck.driver import ModuleContext, iter_python_files
+    from repro.staticcheck.lockflow import DeepContext, LockFlow
+
+    if config is None:
+        config = StaticcheckConfig()
+    if paths is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        paths = [str(package_root)]
+    modules = []
+    for path in iter_python_files(list(paths)):
+        try:
+            modules.append(ModuleContext.from_source(
+                str(path), path.read_text(encoding="utf-8")))
+        except (OSError, SyntaxError):
+            continue
+    project = build_project(modules)
+    lockflow = LockFlow(project, config).analyze()
+    deep = DeepContext(project=project, lockflow=lockflow)
+    return domains_for(deep, config)

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.staticcheck.dataflow import AttrFlow
+    from repro.staticcheck.domains import DomainResult
     from repro.staticcheck.hotpath import HotPathResult
     from repro.staticcheck.ownership import OwnershipResult
 
@@ -140,6 +141,12 @@ class DeepContext:
     """Lazily computed by the OWN rules (and the ``--ownership-map``
     export) via :func:`repro.staticcheck.ownership.ownership_for` —
     one thread-role propagation and field classification per project."""
+
+    domains: "DomainResult | None" = None
+    """Lazily computed by the DOM rules (and the ``--domain-map``
+    export) via :func:`repro.staticcheck.domains.domains_for` — one
+    integer-domain propagation per project, shared by all four
+    domain rules."""
 
 
 def lock_attrs_of(project: ProjectContext,

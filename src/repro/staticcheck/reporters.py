@@ -8,8 +8,13 @@ from typing import Any
 
 from repro.staticcheck.findings import Finding
 
-JSON_VERSION = 5
-"""Version 5 adds the optional top-level ``ownership`` key: the
+JSON_VERSION = 6
+"""Version 6 adds the optional top-level ``domains`` key: the
+integer-domain map (``repro lint --domain-map``) — the inferred
+domain of every typed parameter, return and field from the lattice
+the DOM rules check (``local_seq``/``encoded_seq``/``src_seq``/
+``shard_id``/``shard_index``/``session_id``), plus the seeding
+tables.  Version 5 added the optional top-level ``ownership`` key: the
 thread-ownership map (``repro lint --ownership-map``) — inferred
 thread roles plus a per-class, per-field
 ``exclusive``/``guarded``/``handoff``/``shared-unsynchronized``
@@ -24,7 +29,7 @@ flag when ``--budget`` is enforced) and the optional ``cache`` summary
 ``trace`` key (interprocedural evidence chain) to every finding;
 version-1 payloads (no trace) still parse."""
 
-_ACCEPTED_VERSIONS = frozenset({1, 2, 3, 4, JSON_VERSION})
+_ACCEPTED_VERSIONS = frozenset({1, 2, 3, 4, 5, JSON_VERSION})
 
 SARIF_VERSION = "2.1.0"
 _SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
@@ -51,15 +56,18 @@ def render_text(findings: list[Finding]) -> str:
 def render_json(findings: list[Finding],
                 timings: list[dict[str, Any]] | None = None,
                 cache: dict[str, Any] | None = None,
-                ownership: dict[str, Any] | None = None) -> str:
+                ownership: dict[str, Any] | None = None,
+                domains: dict[str, Any] | None = None) -> str:
     """Machine-readable report; round-trips through :func:`parse_json`.
 
     ``timings`` is the per-rule table from
     :meth:`~repro.staticcheck.driver.AnalysisStats.timing_rows`;
     ``cache`` is a :meth:`~repro.staticcheck.cache.CacheStats.to_dict`
     summary, present only when a cache was in play; ``ownership`` is an
-    :meth:`~repro.staticcheck.ownership.OwnershipResult.to_json` map,
-    present only when the ownership phase ran.
+    :meth:`~repro.staticcheck.ownership.OwnershipResult.to_json` map
+    and ``domains`` a
+    :meth:`~repro.staticcheck.domains.DomainResult.to_json` map, each
+    present only when its phase ran.
     """
     payload: dict[str, Any] = {
         "version": JSON_VERSION,
@@ -70,6 +78,8 @@ def render_json(findings: list[Finding],
         payload["cache"] = cache
     if ownership is not None:
         payload["ownership"] = ownership
+    if domains is not None:
+        payload["domains"] = domains
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

@@ -1,0 +1,169 @@
+"""DOM rules: integer-domain safety for shard/sequence/session ids.
+
+Built on the interprocedural domain dataflow of
+:mod:`repro.staticcheck.domains`.  All four rules report only inside
+``domain_scope_paths`` (the sharding / daemon / workload-DB / driver
+modules whose ints carry the merged encoding); the *inference* is
+whole-program, so adopting the rules module-by-module does not require
+the whole tree to be domain-clean at once.
+
+DOM001–DOM003 accept the evidenced ``mixeddomain(<witness>)`` waiver
+on the reported line (or the line above): the witness names why the
+mixing is sound — ``mixeddomain(whole-table-inspection-only)`` for a
+deliberate cross-shard scalar max that never feeds recovery,
+``mixeddomain(shards-share-one-clock)`` for a comparison that is
+ordered by construction.  A bare ``mixeddomain()`` waives nothing.
+DOM004 (declared-vs-inferred drift) has no waiver: a wrong
+declaration is fixed by correcting or deleting it, exactly like
+OWN003.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.staticcheck.base import ProjectRule, register_deep
+from repro.staticcheck.domains import DomainSite, domains_for
+from repro.staticcheck.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.config import StaticcheckConfig
+    from repro.staticcheck.lockflow import DeepContext
+
+_WAIVER = ("mixeddomain(<witness>) on the reported line — the witness "
+           "names why the domains may meet (the argument is "
+           "mandatory: a bare mixeddomain() waives nothing)")
+
+
+class _DomainRuleBase(ProjectRule):
+    """Shared site filtering: scope, waivers, finding construction."""
+
+    kinds: frozenset[str] = frozenset()
+    waivable: bool = True
+
+    def _sites(self, deep: "DeepContext",
+               config: "StaticcheckConfig") -> Iterator[DomainSite]:
+        result = domains_for(deep, config)
+        for site in result.sites:
+            if site.kind not in self.kinds:
+                continue
+            if not config.path_matches(site.path,
+                                       config.domain_scope_paths):
+                continue
+            if self.waivable and _waived(deep, site):
+                continue
+            yield site
+
+
+def _waived(deep: "DeepContext", site: DomainSite) -> bool:
+    """An evidenced ``mixeddomain(<witness>)`` on the site's line or
+    the line above it."""
+    module = deep.project.modules.get(site.path)
+    if module is None:
+        return False
+    for line in (site.line, site.line - 1):
+        for directive in module.directives(line, "mixeddomain"):
+            if directive.args:
+                return True
+    return False
+
+
+@register_deep
+class CrossDomainMixRule(_DomainRuleBase):
+    """DOM001: comparing, ordering or combining ints of different
+    domains."""
+
+    rule_id = "DOM001"
+    summary = ("cross-domain integer comparison/arithmetic, or scalar "
+               "ordering of encoded seqs without a per-shard anchor")
+    waiver = _WAIVER
+    kinds = frozenset({"compare", "arith", "order"})
+
+    def check_project(self, deep: "DeepContext",
+                      config: "StaticcheckConfig") -> Iterable[Finding]:
+        for site in self._sites(deep, config):
+            if site.kind == "order":
+                message = (
+                    f"{site.note} in {site.function} — merged seqs "
+                    f"are not time-ordered across shards, so a scalar "
+                    f"high-water over them is unsound; compare per "
+                    f"shard (index by shard_of_seq first) or use the "
+                    f"merge helpers, or waive with "
+                    f"mixeddomain(<witness>)")
+            else:
+                message = (
+                    f"{site.note} in {site.function} — both are "
+                    f"ints but mean different things, so the result "
+                    f"is meaningless; convert explicitly "
+                    f"(encode_seq/decode_seq/shard_of_seq or "
+                    f"% shard_count) or waive with "
+                    f"mixeddomain(<witness>)")
+            yield self.finding(site.path, site.line, site.column,
+                               message, trace=site.trace)
+
+
+@register_deep
+class LocalSeqEscapeRule(_DomainRuleBase):
+    """DOM002: a shard-local value flowing into an encoded-domain
+    parameter."""
+
+    rule_id = "DOM002"
+    summary = ("local/unencoded value passed where an encoded "
+               "src_seq/encoded_seq parameter is expected")
+    waiver = _WAIVER
+    kinds = frozenset({"argflow"})
+
+    def check_project(self, deep: "DeepContext",
+                      config: "StaticcheckConfig") -> Iterable[Finding]:
+        for site in self._sites(deep, config):
+            yield self.finding(
+                site.path, site.line, site.column,
+                f"{site.note} (call in {site.function}) — persisting "
+                f"or publishing the wrong domain corrupts crash "
+                f"recovery and shard attribution; encode first "
+                f"(encode_seq(local_seq, shard_id)) or waive with "
+                f"mixeddomain(<witness>)", trace=site.trace)
+
+
+@register_deep
+class ShardIndexRule(_DomainRuleBase):
+    """DOM003: indexing a per-shard structure with a raw id."""
+
+    rule_id = "DOM003"
+    summary = ("per-shard structure indexed by a session/seq-domain "
+               "int — a missing % shard_count")
+    waiver = _WAIVER
+    kinds = frozenset({"index"})
+
+    def check_project(self, deep: "DeepContext",
+                      config: "StaticcheckConfig") -> Iterable[Finding]:
+        for site in self._sites(deep, config):
+            yield self.finding(
+                site.path, site.line, site.column,
+                f"{site.note} in {site.function} — a raw "
+                f"{site.left} overruns or misroutes the per-shard "
+                f"table; reduce it first (session_id % shard_count, "
+                f"or shard_of_seq for encoded seqs) or waive with "
+                f"mixeddomain(<witness>)", trace=site.trace)
+
+
+@register_deep
+class DomainDriftRule(_DomainRuleBase):
+    """DOM004: a ``domain(...)`` declaration the inference
+    contradicts."""
+
+    rule_id = "DOM004"
+    summary = ("declared domain(...) contradicted by the inferred "
+               "domain, or naming no known domain")
+    waiver = ""
+    kinds = frozenset({"drift", "directive"})
+    waivable = False
+
+    def check_project(self, deep: "DeepContext",
+                      config: "StaticcheckConfig") -> Iterable[Finding]:
+        for site in self._sites(deep, config):
+            yield self.finding(
+                site.path, site.line, site.column,
+                f"{site.note} — a wrong declaration poisons every "
+                f"downstream inference; fix the declaration or the "
+                f"code it describes", trace=site.trace)

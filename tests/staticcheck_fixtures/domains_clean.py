@@ -1,0 +1,50 @@
+"""Clean twin of ``domains_violation.py``: the same shapes done right.
+
+Zero DOM findings expected:
+
+* the high-water comparison is anchored per shard (both operands read
+  through a ``[shard]`` subscript),
+* the persisted value is encoded with ``encode_seq`` before it reaches
+  the ``seqs=src_seq`` parameter,
+* the per-shard vector is indexed through ``% shard_count`` (and via a
+  decoded ``shard_id``),
+* the declared return domain matches what the body returns,
+* the one deliberate cross-shard ``max()`` carries an evidenced
+  ``mixeddomain(<witness>)`` waiver.
+"""
+
+from repro.core.sharding import decode_seq, encode_seq, shard_of_seq
+
+
+class ShardTable:
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self.vectors = [0] * shard_count
+
+    # staticcheck: domain(seqs=src_seq)
+    def persist(self, seqs):
+        return len(seqs)
+
+    def per_shard_high_water(self, merged_seq, high_water):
+        shard = shard_of_seq(merged_seq)
+        if merged_seq > high_water[shard]:
+            high_water[shard] = merged_seq
+        return high_water
+
+    def publish_encoded(self, local_seq, shard_id):
+        return self.persist([encode_seq(local_seq, shard_id)])
+
+    def route(self, session_id):
+        return self.vectors[session_id % self.shard_count]
+
+    def rehydrate(self, merged_seq):
+        local_seq, shard_id = decode_seq(merged_seq)
+        return self.vectors[shard_id]
+
+    # staticcheck: domain(encoded_seq)
+    def declared_right(self, local_seq, shard_id):
+        return encode_seq(local_seq, shard_id)
+
+    def audited_max(self, merged_seq, other_seq):
+        # staticcheck: mixeddomain(whole-table-audit-only)
+        return max(merged_seq, self.declared_right(other_seq, 0))

@@ -1,0 +1,43 @@
+"""Dirty fixture: every DOM rule fires here (and only here).
+
+Pinned lines (tests assert them; update both on edits):
+
+* DOM001 (compare) — line 29: a shard-local seq ordered against a
+  persisted ``src_seq``.
+* DOM001 (order)   — line 33: ``max()`` over two encoded seqs with no
+  per-shard anchor (the unsound scalar high-water).
+* DOM002           — line 36: a raw ``local_seq`` passed where the
+  ``seqs=src_seq`` parameter expects encoded values.
+* DOM003           — line 39: a per-shard vector indexed by a raw
+  ``session_id`` (missing ``% shard_count``).
+* DOM004           — line 41: declared ``encoded_seq`` return, but the
+  body returns the ``local_seq`` unchanged.
+"""
+
+
+class ShardTable:
+    def __init__(self, shard_count: int) -> None:
+        self.shard_count = shard_count
+        self.vectors = [0] * shard_count
+
+    # staticcheck: domain(seqs=src_seq)
+    def persist(self, seqs):
+        return len(seqs)
+
+    def cross_domain_compare(self, local_seq, row):
+        src_seq = row[-1]  # staticcheck: domain(src_seq)
+        return local_seq < src_seq
+
+    # staticcheck: domain(other_seq=encoded_seq)
+    def scalar_high_water(self, merged_seq, other_seq):
+        return max(merged_seq, other_seq)
+
+    def publish_local(self, local_seq):
+        return self.persist([local_seq])
+
+    def route(self, session_id):
+        return self.vectors[session_id]
+
+    # staticcheck: domain(encoded_seq)
+    def declared_wrong(self, local_seq):
+        return local_seq

@@ -55,6 +55,29 @@ class TestSeqEncoding:
                 assert decode_seq(merged) == (local, shard)
                 assert shard_of_seq(merged) == shard
 
+    def test_roundtrip_at_boundary_shards(self):
+        # Shards 0 and SHARD_STRIDE - 1 are the aliasing-prone edges of
+        # the encoding; a seeded sweep of local seqs must survive both.
+        rng = random.Random(29)
+        locals_ = [0, 1, SHARD_STRIDE - 1, SHARD_STRIDE,
+                   *(rng.randrange(10**12) for _ in range(200))]
+        for shard in (0, SHARD_STRIDE - 1):
+            for local in locals_:
+                merged = encode_seq(local, shard)
+                assert decode_seq(merged) == (local, shard)
+                assert shard_of_seq(merged) == shard
+
+    def test_encode_rejects_out_of_range_shard(self):
+        for shard in (-1, SHARD_STRIDE, SHARD_STRIDE + 5):
+            with pytest.raises(ValueError, match="shard_id"):
+                encode_seq(1, shard)
+
+    def test_encode_rejects_negative_local_seq(self):
+        with pytest.raises(ValueError, match="local_seq"):
+            encode_seq(-1, 0)
+        with pytest.raises(ValueError, match="local_seq"):
+            encode_seq(-10**9, SHARD_STRIDE - 1)
+
     def test_merged_seqs_unique_across_shards(self):
         merged = {encode_seq(local, shard)
                   for local in range(1, 200) for shard in range(8)}

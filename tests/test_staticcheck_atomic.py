@@ -275,7 +275,7 @@ class TestAtomicCli:
                           "--deep", "--format", "json"])
         assert code == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["version"] == 5
+        assert report["version"] == 6
         matches = [f for f in report["findings"]
                    if f["rule_id"] == rule_id and f["line"] == line]
         assert matches, report["findings"]

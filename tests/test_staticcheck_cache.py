@@ -317,7 +317,7 @@ class TestJsonV3:
                 "--format", "json"]
         lint_main(args)
         cold = json.loads(capsys.readouterr().out)
-        assert cold["version"] == 5
+        assert cold["version"] == 6
         assert cold["cache"]["shallow_analyzed"] == 2
         assert cold["cache"]["deep_from_cache"] is False
         timed = {row["rule_id"] for row in cold["timings"]}
@@ -334,7 +334,7 @@ class TestJsonV3:
         }
         assert warm["findings"] == cold["findings"]
 
-    def test_parse_accepts_versions_1_to_5_only(self):
+    def test_parse_accepts_versions_1_to_6_only(self):
         finding = Finding(path="a.py", line=1, column=0,
                           rule_id="CLK001", severity=Severity.ERROR,
                           message="m")
@@ -345,8 +345,8 @@ class TestJsonV3:
                                   "shallow_analyzed": 1,
                                   "deep_from_cache": False})
         assert parse_json(text) == [finding]
-        for version in (1, 2, 3, 4):
+        for version in (1, 2, 3, 4, 5):
             payload = json.dumps({"version": version, "findings": []})
             assert parse_json(payload) == []
         with pytest.raises(ValueError):
-            parse_json(json.dumps({"version": 6, "findings": []}))
+            parse_json(json.dumps({"version": 7, "findings": []}))

@@ -30,7 +30,7 @@ def test_lint_json_format_is_machine_readable(capsys):
                       "--format", "json"])
     assert code == 1
     report = json.loads(capsys.readouterr().out)
-    assert report["version"] == 5
+    assert report["version"] == 6
     rule_ids = [finding["rule_id"] for finding in report["findings"]]
     assert "CLK001" in rule_ids and "CLK002" in rule_ids
 

@@ -273,7 +273,7 @@ class TestDeepCli:
                           "--deep", "--format", "json"])
         assert code == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["version"] == 5
+        assert report["version"] == 6
         assert "timings" in report
         assert len(report["findings"]) == 1
         finding = report["findings"][0]

@@ -363,7 +363,7 @@ class TestCli:
              str(FIXTURES / "ownership_violation.py")])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 5
+        assert payload["version"] == 6
         assert "ownership_violation.Worker" in \
             payload["ownership"]["classes"]
 
