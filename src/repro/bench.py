@@ -50,6 +50,7 @@ import statistics
 import sys
 
 from repro.config import EngineConfig, MonitorConfig
+from repro.core.overload import DETAILED, LEVEL_NAMES, OverloadController
 from repro.core.sharding import SHARD_STRIDE
 from repro.setups import Setup, monitoring_setup, original_setup
 from repro.workloads import (
@@ -252,16 +253,29 @@ def run_concurrency(proteins: int, statement_count: int, repeats: int,
         ]
         shard_count = min(sessions, SHARD_STRIDE)
         drivers: dict[str, ThreadedDriver] = {}
+        controller: OverloadController | None = None
         for kind in ("original", "monitoring"):
             setup = _build(kind, scale, shard_count=shard_count)
             driver = ThreadedDriver(setup.engine, "nref", lists)
             driver.run_pass()  # warm statement/plan caches
             drivers[kind] = driver
+            if kind == "monitoring":
+                # The monitoring arm runs with the overload machinery
+                # live: the admission gate is always compiled in, and a
+                # controller observing between rounds is what a
+                # daemon-attached deployment pays.  Healthy full rings
+                # must NOT degrade (occupancy alone cannot escalate) —
+                # a degraded arm would under-report monitoring cost,
+                # so check_concurrency rejects such measurements.
+                assert setup.monitor is not None
+                controller = OverloadController(setup.monitor)
+        assert controller is not None
         arms.append({
             "sessions": sessions,
             "shard_count": shard_count,
             "statements": per_session * sessions,
             "drivers": drivers,
+            "controller": controller,
             "original_rounds": [],
             "monitoring_rounds": [],
         })
@@ -271,10 +285,12 @@ def run_concurrency(proteins: int, statement_count: int, repeats: int,
                 arm["drivers"]["original"].run_pass().wallclock_s)
             arm["monitoring_rounds"].append(
                 arm["drivers"]["monitoring"].run_pass().wallclock_s)
+            arm["controller"].observe()
     points: list[dict] = []
     for arm in arms:
         for driver in arm["drivers"].values():
             driver.close()
+        levels = arm["controller"].levels()
         round_overheads = [
             round((mon - orig) / orig * 100.0, 2)
             for orig, mon in zip(arm["original_rounds"],
@@ -296,6 +312,8 @@ def run_concurrency(proteins: int, statement_count: int, repeats: int,
             "overhead_pct": round(
                 (best_mon - best_orig) / best_orig * 100.0, 2),
             "overhead_rounds_pct": round_overheads,
+            "ladder_levels": [LEVEL_NAMES[level] for level in levels],
+            "degraded": any(level != DETAILED for level in levels),
         })
     return {
         "limit_ratio": CONCURRENCY_LIMIT_RATIO,
@@ -316,10 +334,19 @@ def check_concurrency(concurrency: dict,
     noise-resistant methodology; when provided, the larger of the two
     anchors the limit so a single unlucky 1-session arm cannot fail an
     otherwise healthy axis.
+
+    A point whose overload ladder degraded below DETAILED fails
+    outright: a degraded monitoring arm recorded less than full detail,
+    so its overhead figure would make the gate vacuous.
     """
     points = concurrency.get("points", [])
     if len(points) < 2:
         return None
+    for point in points:
+        if point.get("degraded"):
+            return (f"monitoring arm degraded to {point['ladder_levels']} "
+                    f"at {point['sessions']} sessions — its overhead "
+                    "figure no longer measures full-detail monitoring")
     base, worst = points[0], points[-1]
     base_overhead = base["overhead_pct"]
     if single_session_overhead is not None:

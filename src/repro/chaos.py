@@ -39,7 +39,12 @@ from dataclasses import dataclass, field
 
 from repro import faultsim
 from repro.clock import VirtualClock
-from repro.config import EngineConfig, MonitorConfig
+from repro.config import (
+    DaemonConfig,
+    EngineConfig,
+    MonitorConfig,
+    OverloadConfig,
+)
 from repro.core.accesswitness import (
     AccessWitness,
     cross_check_access,
@@ -51,6 +56,11 @@ from repro.core.lockwitness import (
     LockWitness,
     cross_check,
     static_order_edges,
+)
+from repro.core.overload import (
+    DETAILED,
+    LEVEL_NAMES,
+    conservation_violations,
 )
 from repro.core.sharding import monitor_shards
 from repro.core.tuning_journal import JournalState, TuningJournal
@@ -91,6 +101,14 @@ class SoakConfig:
     and the daemon's per-shard high-water vectors under the same
     crash/recovery torture the plain monitor gets."""
 
+    storm: bool = False
+    """Overload storm: tiny workload rings, a fast degradation ladder,
+    two parallel poll workers, and per-round storm faults
+    (``monitor.ring_flood``, ``daemon.poll_worker.die``) on top of the
+    regular fault schedule.  Every round then asserts the conservation
+    invariant exactly, and the soak ends with a recovery phase that
+    must return every shard to DETAILED with no poll group parked."""
+
 
 @dataclass
 class SoakReport:
@@ -106,9 +124,22 @@ class SoakReport:
     applied: int = 0
     quarantined: int = 0
     invariant_sweeps: int = 0
+    conservation_sweeps: int = 0
+    """Per-round exact conservation checks passed (storm mode)."""
+    storm_poll_failures: int = 0
+    """Daemon polls the storm faults made fail."""
+    peak_level: int = 0
+    """Deepest ladder level any shard reached (storm mode)."""
+    health: dict | None = field(default=None, compare=False)
+    """Final engine health snapshot (``--health-report`` artifact).
+
+    Excluded from equality: it carries real-time signals (poll-latency
+    EWMAs measured with ``perf_counter``) that vary run to run even
+    under identical seeds, while the soak *outcome* stays deterministic.
+    """
 
     def describe(self) -> str:
-        return (f"chaos soak (seed {self.seed}): {self.rounds} rounds, "
+        base = (f"chaos soak (seed {self.seed}): {self.rounds} rounds, "
                 f"{self.cycles_failed} failed cycles, "
                 f"{len(self.faults_armed)} faults armed, "
                 f"{self.crashes} crashes, "
@@ -116,6 +147,12 @@ class SoakReport:
                 f"{self.applied} changes applied, "
                 f"{self.quarantined} quarantine decisions, "
                 f"{self.invariant_sweeps} invariant sweeps — all held")
+        if self.conservation_sweeps:
+            base += (f" — storm: peak {LEVEL_NAMES[self.peak_level]}, "
+                     f"{self.storm_poll_failures} failed polls, "
+                     f"{self.conservation_sweeps} exact conservation "
+                     "sweeps, recovered to DETAILED")
+        return base
 
 
 def _require(condition: bool, message: str, seed: int) -> None:
@@ -207,6 +244,95 @@ def _fault_for_round(rng: random.Random, round_no: int,
     return f"{point}:once,after={rng.randint(0, 4)}"
 
 
+def _storm_fault_for_round(rng: random.Random, round_no: int) -> str | None:
+    """Pick this round's storm fault.
+
+    Round 0 always floods (``monitor.ring_flood`` forces every shard's
+    pressure to 1.0, so the ladder provably escalates on every seed);
+    rounds 1–2 always kill every poll worker (two consecutive failed
+    polls park both groups, forcing their shards to SHED).  Later
+    rounds draw randomly so parks and floods overlap the regular
+    crash/recovery chaos differently per seed.
+
+    ``daemon.poll_worker.hang`` is deliberately absent: its latency
+    action sleeps on the soak's :class:`~repro.clock.VirtualClock`,
+    which does not block, so only the real-clock storm
+    (``repro drive --storm``) exercises the heartbeat-deadline path.
+    """
+    if round_no == 0:
+        return "monitor.ring_flood:every-n=1"
+    if round_no in (1, 2):
+        return "daemon.poll_worker.die:every-n=1"
+    if rng.random() < 0.5:
+        return rng.choice(("daemon.poll_worker.die:once",
+                           "daemon.poll_worker.die:every-n=1",
+                           "monitor.ring_flood:once"))
+    return None
+
+
+def _storm_poll(daemon: StorageDaemon) -> BaseException | None:
+    """One daemon poll from a thread carrying the daemon's role (see
+    :func:`_daemon_probe`), returning the failure instead of raising —
+    storm rounds *expect* injected worker deaths."""
+    box: list[BaseException] = []
+
+    def target() -> None:
+        try:
+            daemon.poll_once()
+        except (ReproError, OSError) as error:
+            box.append(error)
+
+    probe = threading.Thread(target=target, name="repro-storage-daemon")
+    probe.start()
+    probe.join()
+    return box[0] if box else None
+
+
+def _storm_recovery(setup: Setup, report: SoakReport,
+                    config: SoakConfig) -> None:
+    """Post-storm quiesce: with all faults disarmed, advancing time and
+    polling must unpark every group (half-open success) and walk every
+    shard back to DETAILED — and the conservation ledger must balance.
+
+    Raises :class:`ChaosInvariantError` if recovery does not complete
+    within the hysteresis window, a degraded window is left open, the
+    storm never actually degraded anything, or conservation broke.
+    """
+    daemon, controller = setup.daemon, setup.controller
+    assert daemon is not None and controller is not None
+    clock = setup.engine.clock
+    assert isinstance(clock, VirtualClock)
+    faultsim.reset()
+    recovered = False
+    # 3 rungs x recover_dwell 2 plus park-cooldown expiry and half-open
+    # retries fit comfortably in 40 polls; failing to converge by then
+    # is a stuck ladder, not slowness.
+    for _ in range(40):
+        clock.advance(60.0)
+        if _storm_poll(daemon) is not None:
+            continue
+        if (not daemon.parked_shards()
+                and set(controller.levels()) == {DETAILED}):
+            recovered = True
+            break
+    levels = [LEVEL_NAMES[level] for level in controller.levels()]
+    _require(recovered,
+             "storm recovery: shards did not return to DETAILED within "
+             f"the hysteresis window (levels {levels}, parked "
+             f"{sorted(daemon.parked_shards())})", config.seed)
+    windows = controller.degraded_windows()
+    _require(all(window["ended_at"] is not None for window in windows),
+             "storm recovery: degraded window left open", config.seed)
+    report.peak_level = max(
+        (window["peak_level"] for window in windows), default=DETAILED)
+    _require(report.peak_level > DETAILED,
+             "storm soak never degraded any shard — not a storm",
+             config.seed)
+    assert setup.monitor is not None
+    for violation in conservation_violations(setup.monitor):
+        _require(False, f"conservation: {violation}", config.seed)
+
+
 def _probe_poll(daemon: StorageDaemon) -> None:
     """Thread target for the witnessed daemon probe: one poll cycle,
     exactly the code path ``StorageDaemon._run`` executes per tick."""
@@ -246,8 +372,23 @@ def run_soak(config: SoakConfig,
     rng = random.Random(config.seed)
     clock = VirtualClock(1_000_000.0)
     scale = NrefScale(proteins=config.proteins)
-    engine_config = EngineConfig(
-        monitor=MonitorConfig(shard_count=config.shard_count))
+    if config.storm:
+        # Tiny rings + dwell-1 escalation make the ladder move within a
+        # 12-round soak; two poll workers give the park machinery two
+        # groups to quarantine; the 180 s park cooldown spans ~1.5
+        # rounds so parks heal (half-open) while the soak still runs.
+        engine_config = EngineConfig(
+            monitor=MonitorConfig(
+                shard_count=config.shard_count,
+                workload_buffer_size=128,
+                overload=OverloadConfig(sample_k=4, escalate_dwell=1,
+                                        recover_dwell=2)),
+            daemon=DaemonConfig(poll_workers=2, flush_every_polls=1,
+                                worker_park_after=2,
+                                worker_park_cooldown_s=180.0))
+    else:
+        engine_config = EngineConfig(
+            monitor=MonitorConfig(shard_count=config.shard_count))
     setup = daemon_setup("nref", config=engine_config, clock=clock,
                          lock_witness=witness)
     load_nref(setup.engine.database("nref"), scale, main_pages=2)
@@ -280,6 +421,11 @@ def run_soak(config: SoakConfig,
             if spec is not None:
                 faultsim.arm_from_spec(spec, clock=clock)
                 report.faults_armed.append(spec)
+            if config.storm:
+                storm_spec = _storm_fault_for_round(rng, _round)
+                if storm_spec is not None:
+                    faultsim.arm_from_spec(storm_spec, clock=clock)
+                    report.faults_armed.append(storm_spec)
             try:
                 cycle = tuner.run_cycle()
             except (ReproError, OSError):
@@ -288,6 +434,12 @@ def run_soak(config: SoakConfig,
                 report.recoveries += len(cycle.recovered)
                 report.applied += cycle.applied_count
                 report.quarantined += len(cycle.quarantined)
+            if config.storm and setup.daemon is not None:
+                # Poll with the storm fault still armed: worker deaths
+                # land here, feeding the park machinery and (through
+                # note_poll) the degradation ladder.
+                if _storm_poll(setup.daemon) is not None:
+                    report.storm_poll_failures += 1
             faultsim.reset()
 
             if access_witness is not None and setup.daemon is not None:
@@ -309,7 +461,19 @@ def run_soak(config: SoakConfig,
                      "recovery replay was not idempotent", config.seed)
             check_invariants(setup, journal, config.seed)
             report.invariant_sweeps += 1
+            if config.storm:
+                # The soak is single-threaded between rounds, so the
+                # conservation ledger must balance bit-exactly here —
+                # under every ladder state the round put shards in.
+                assert setup.monitor is not None
+                for violation in conservation_violations(setup.monitor):
+                    _require(False, f"conservation: {violation}",
+                             config.seed)
+                report.conservation_sweeps += 1
             report.rounds += 1
+        if config.storm:
+            _storm_recovery(setup, report, config)
+        report.health = setup.engine.health()
     finally:
         session.close()
         faultsim.reset()
@@ -344,6 +508,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the witness report (stats, observed "
                              "edges, field accesses, cross-checks) as "
                              "JSON to PATH; implies --witness")
+    parser.add_argument("--storm", action="store_true",
+                        help="overload storm: tiny rings, fast ladder, "
+                             "poll-worker deaths and ring floods on top "
+                             "of the regular chaos; every round asserts "
+                             "exact conservation and the soak must end "
+                             "with every shard back at DETAILED")
+    parser.add_argument("--health-report", type=pathlib.Path,
+                        default=None, metavar="PATH",
+                        help="write each seed's final engine health "
+                             "snapshot (ladder, daemon, conservation "
+                             "ledger) as JSON to PATH")
     arguments = parser.parse_args(argv)
     seeds = arguments.seed or [1, 2, 3]
     witness = None
@@ -353,10 +528,12 @@ def main(argv: list[str] | None = None) -> int:
         witness = LockWitness()
         access_witness = AccessWitness()
         ownership_map = static_ownership_map()
+    healths: dict[str, dict | None] = {}
     for seed in seeds:
         config = SoakConfig(seed=seed, rounds=arguments.rounds,
                             proteins=arguments.proteins,
-                            shard_count=arguments.shards)
+                            shard_count=arguments.shards,
+                            storm=arguments.storm)
         try:
             report = run_soak(config, witness=witness,
                               access_witness=access_witness,
@@ -364,7 +541,11 @@ def main(argv: list[str] | None = None) -> int:
         except ChaosInvariantError as error:
             print(f"INVARIANT VIOLATION: {error}", file=sys.stderr)
             return 1
+        healths[f"seed-{seed}"] = report.health
         print(report.describe())
+    if arguments.health_report is not None:
+        arguments.health_report.write_text(
+            json.dumps(healths, indent=2, default=str) + "\n")
     if witness is not None:
         checked = cross_check(witness.observed_edges(),
                               static_order_edges())

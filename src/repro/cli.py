@@ -21,6 +21,7 @@ returning plain text) so it is scriptable and testable without a TTY.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -31,7 +32,7 @@ from repro.core.analyzer import Analyzer
 from repro.engine.session import DmlResult
 from repro.errors import FaultError, ReproError
 from repro.execution.executor import QueryResult
-from repro.setups import daemon_setup
+from repro.setups import attach_supervisor, daemon_setup
 from repro.workloads import NrefScale, load_nref
 
 
@@ -77,6 +78,7 @@ class Shell:
         self.tuner = AutonomousTuner(
             self.setup.engine, database_name, self.setup.workload_db,
             daemon=self.setup.daemon)
+        attach_supervisor(self.setup, tuner=self.tuner)
         self._commands: dict[str, Callable[[str], str]] = {
             "help": self.cmd_help,
             "tables": self.cmd_tables,
@@ -84,6 +86,7 @@ class Shell:
             "monitor": self.cmd_monitor,
             "stats": self.cmd_stats,
             "daemon": self.cmd_daemon,
+            "health": self.cmd_health,
             "fault": self.cmd_fault,
             "alerts": self.cmd_alerts,
             "analyze": self.cmd_analyze,
@@ -130,6 +133,7 @@ class Shell:
             "  \\monitor             recent statements seen by the monitor",
             "  \\stats               engine-wide statistics",
             "  \\daemon [status]     poll + flush the daemon / health snapshot",
+            "  \\health              engine-wide health (ladder, workers, supervisor)",
             "  \\fault ...           arm/disarm/inspect failure injection",
             "  \\alerts              alerts fired so far",
             "  \\analyze             run the analyzer on the workload DB",
@@ -196,6 +200,12 @@ class Shell:
                 f"  rows flushed: {status.total_rows_flushed}, "
                 f"purged: {status.total_rows_purged}",
                 f"  last flush at: {last_flush}",
+                f"  workers: hangs {status.worker_hangs}, "
+                f"deaths {status.worker_deaths}, parked groups "
+                f"{list(status.parked_groups) or '-'}",
+                f"  restarts: {status.restarts}, last heartbeat: "
+                + (f"{status.last_heartbeat:.1f}"
+                   if status.last_heartbeat is not None else "never"),
             ])
         try:
             poll = self.setup.daemon.poll_once()
@@ -206,6 +216,11 @@ class Shell:
                 f"purged {purged}; workload DB now "
                 f"{self.setup.workload_db.total_rows()} rows "
                 f"({self.setup.workload_db.total_bytes / 1024:.0f} KiB)")
+
+    def cmd_health(self, _argument: str) -> str:
+        """The engine-wide health snapshot, pretty-printed as JSON."""
+        return json.dumps(self.setup.engine.health(), indent=2,
+                          sort_keys=True, default=str)
 
     def cmd_fault(self, argument: str) -> str:
         usage = ("usage: \\fault arm <point>:<mode>[,k=v...] | "

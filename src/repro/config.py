@@ -74,6 +74,58 @@ class LockConfig:
 
 
 @dataclass(frozen=True)
+class OverloadConfig:
+    """Tunables of the adaptive degradation ladder (:mod:`repro.core.
+    overload`): how shard pressure is measured and when a shard's
+    monitoring detail escalates or de-escalates."""
+
+    enabled: bool = True
+    """Whether setups attach an :class:`~repro.core.overload.
+    OverloadController`.  The admission gate in the monitor is always
+    compiled in (its counters feed the health surface either way);
+    without a controller every shard simply stays DETAILED."""
+
+    sample_k: int = 8
+    """In the SAMPLED state one workload record in ``sample_k`` is
+    admitted with full detail; the rest are counted as sampled out."""
+
+    escalate_pressure: float = 0.75
+    """A shard whose pressure reaches this level for
+    ``escalate_dwell`` consecutive observations degrades one rung."""
+
+    deescalate_pressure: float = 0.35
+    """A shard whose pressure stays at or below this level for
+    ``recover_dwell`` consecutive observations recovers one rung.
+    Pressures between the two thresholds are the hysteresis dead band:
+    they reset both streaks, so each transition requires *consecutive*
+    observations beyond its threshold."""
+
+    escalate_dwell: int = 2
+    """Consecutive high-pressure observations before degrading."""
+
+    recover_dwell: int = 3
+    """Consecutive low-pressure observations before recovering (higher
+    than ``escalate_dwell`` so a recovering shard does not flap)."""
+
+    poll_latency_budget_s: float = 5.0
+    """Daemon poll duration treated as pressure 1.0; the EWMA of poll
+    durations is normalized against this budget."""
+
+    ewma_alpha: float = 0.3
+    """Smoothing factor of the poll-latency EWMA."""
+
+    occupancy_weight: float = 0.3
+    """Weight of raw ring occupancy in the pressure signal.  Rings are
+    never drained by reads, so a full ring is normal under healthy
+    traffic — occupancy alone must not cross ``escalate_pressure``
+    (and at the default weight a full ring contributes 0.3, below the
+    de-escalation threshold, so recovery is always reachable)."""
+
+    window_history: int = 64
+    """Degraded-window annotations kept per controller (oldest out)."""
+
+
+@dataclass(frozen=True)
 class MonitorConfig:
     """Tunables of the integrated monitor (section IV-A of the paper)."""
 
@@ -112,6 +164,9 @@ class MonitorConfig:
     hash to per-shard ring buffers with independent locks, merged into
     one IMA view.  Capped at
     :data:`~repro.core.sharding.SHARD_STRIDE` (64)."""
+
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
+    """Degradation-ladder tunables (see :class:`OverloadConfig`)."""
 
 
 @dataclass(frozen=True)
@@ -152,6 +207,57 @@ class DaemonConfig:
     poll is still serialized under the daemon's poll mutex, so workers
     parallelize shard reads *within* one poll, never across polls."""
 
+    worker_heartbeat_timeout_s: float = 10.0
+    """Seconds a poll worker may run without stamping its heartbeat
+    before the collecting poll declares it hung, abandons its thread
+    and fails the round (the worker's session is replaced, never closed
+    under the zombie, and the incident is surfaced in the daemon
+    status)."""
+
+    worker_park_after: int = 3
+    """Consecutive failed rounds for one shard group before that group
+    is parked — skipped by subsequent polls so the remaining groups
+    keep flowing — until ``worker_park_cooldown_s`` elapses."""
+
+    worker_park_cooldown_s: float = 60.0
+    """Seconds a parked shard group stays quarantined before the next
+    poll half-opens it (retries it once; success unparks, failure
+    re-parks for another cooldown)."""
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables of the thread supervisor (:mod:`repro.core.health`)
+    that watches the storage daemon and the tuner thread."""
+
+    check_interval_s: float = 5.0
+    """Seconds between supervisor ticks when it runs its own thread."""
+
+    heartbeat_timeout_s: float = 30.0
+    """Seconds a watched thread may go without stamping its heartbeat
+    before the supervisor declares it hung and restarts it."""
+
+    restart_backoff_initial_s: float = 1.0
+    """Delay before the first restart of a failed watch; doubles
+    (``restart_backoff_factor``) on each consecutive restart."""
+
+    restart_backoff_factor: float = 2.0
+    """Multiplier applied to the restart delay per consecutive restart."""
+
+    restart_backoff_max_s: float = 60.0
+    """Cap on the restart backoff delay."""
+
+    park_after_restarts: int = 3
+    """Consecutive restarts (without an intervening healthy tick)
+    before a watch is parked — left alone until ``park_cooldown_s``
+    elapses, then retried half-open (the PR-5 circuit-breaker shape)."""
+
+    park_cooldown_s: float = 120.0
+    """Seconds a parked watch stays quarantined before one retry."""
+
+    stop_join_timeout_s: float = 5.0
+    """Seconds ``stop()`` waits for the supervisor thread itself."""
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -162,6 +268,7 @@ class EngineConfig:
     locks: LockConfig = field(default_factory=LockConfig)
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     daemon: DaemonConfig = field(default_factory=DaemonConfig)
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
 
     join_dp_threshold: int = 6
     """Use dynamic-programming join enumeration up to this many inputs;

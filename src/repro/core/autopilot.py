@@ -225,6 +225,9 @@ class AutonomousTuner:
         self._backoff_s = 0.0  # staticcheck: shared(_lock)
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        self._generation = 0  # staticcheck: shared(_lock)
+        self._last_heartbeat: float | None = None  # staticcheck: shared(_lock)
+        self.restarts = 0  # staticcheck: shared(_lock)
         self._seed_breakers_from_journal()
 
     # -- circuit breakers ----------------------------------------------------
@@ -562,9 +565,41 @@ class AutonomousTuner:
         if self._thread is not None and self._thread.is_alive():
             raise MonitorError("autonomous tuner is already running")
         self._stop.clear()
+        with self._lock:
+            generation = self._generation
         self._thread = threading.Thread(
-            target=self._run, name="repro-autonomous-tuner", daemon=True)
+            target=self._run, args=(generation,),
+            name="repro-autonomous-tuner", daemon=True)
         self._thread.start()
+
+    def restart(self) -> None:
+        """Supervisor entry point: supersede the cycle thread.
+
+        Like :meth:`~repro.core.daemon.StorageDaemon.restart`: the
+        generation bump makes a hung zombie exit at its next wake-up,
+        and ``_cycle_mutex`` keeps cycles serialized regardless of
+        thread identity, so superseding a live thread is safe.
+        """
+        with self._lock:
+            self._generation += 1
+            self.restarts += 1
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.policy.stop_join_timeout_s)
+            self._thread = None
+        self._stop = threading.Event()
+        self.start()
+
+    def last_heartbeat(self) -> float | None:
+        """Engine-clock stamp of the cycle loop's latest wake-up."""
+        with self._lock:
+            return self._last_heartbeat
+
+    def is_alive(self) -> bool:
+        """Whether the cycle thread is currently running."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
 
     def stop(self) -> None:
         """Stop the cycle thread.
@@ -584,10 +619,13 @@ class AutonomousTuner:
                     "kept, restart refused while it lives")
             self._thread = None
 
-    def _run(self) -> None:
+    def _run(self, generation: int) -> None:
         while True:
             with self._lock:
+                if self._generation != generation:
+                    break  # superseded by restart(); a zombie exits here
                 backoff = self._backoff_s
+                self._last_heartbeat = self.clock.now()
             if self._stop.wait(self.policy.cycle_interval_s + backoff):
                 break
             try:

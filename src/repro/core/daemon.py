@@ -53,18 +53,21 @@ whole stays serialized under ``_poll_mutex``.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from operator import itemgetter
 from typing import TYPE_CHECKING, Sequence
 
+from repro import faultsim
 from repro.clock import Clock
 from repro.config import DaemonConfig
-from repro.core.sharding import shard_of_seq
+from repro.core.sharding import SHARD_STRIDE, shard_of_seq
 from repro.core.workload_db import TABLE_SOURCES, WorkloadDatabase
 from repro.errors import MonitorError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.lockwitness import LockWitness, WitnessedLock
+    from repro.core.overload import OverloadController
     from repro.engine.engine import EngineInstance
     from repro.engine.session import Session
 
@@ -95,6 +98,20 @@ class DaemonStatus:
     total_rows_flushed: int
     total_rows_purged: int
     last_flush_at: float | None
+    worker_hangs: int = 0
+    """Poll workers abandoned past the heartbeat deadline (their shard
+    group's round failed loudly instead of stalling the poll)."""
+    worker_deaths: int = 0
+    """Poll workers that died with a recorded exception — including
+    exceptions outside the expected (ReproError, OSError) set, which
+    previously vanished and left the group silently unpolled."""
+    parked_groups: tuple[int, ...] = ()
+    """Worker-group indexes currently quarantined after repeated
+    failures (their shards are skipped until the cooldown expires)."""
+    restarts: int = 0
+    """Times :meth:`StorageDaemon.restart` superseded the poll thread."""
+    last_heartbeat: float | None = None
+    """Engine-clock stamp of the poll loop's latest wake-up."""
 
 
 class StorageDaemon:
@@ -119,8 +136,16 @@ class StorageDaemon:
         self._session: "Session | None" = None  # staticcheck: shared(_poll_mutex)
         # One extra session per poll worker (created lazily, only when
         # poll_workers > 1); sessions are not thread-safe, so each
-        # worker reads through its own.
-        self._worker_sessions: "list[Session]" = \
+        # worker reads through its own.  A slot goes back to None when
+        # its worker is abandoned as hung — the zombie may still be
+        # using the session, so it is never closed or reused; the next
+        # poll connects a replacement.
+        self._worker_sessions: "list[Session | None]" = \
+            []  # staticcheck: shared(_poll_mutex); bounded(poll_workers)
+        # Per-worker heartbeat stamps.  Written lock-free: each worker
+        # owns exactly its own preallocated slot, and the collector only
+        # reads them after the join deadline, so slots never contend.
+        self._worker_heartbeats: list[float] = \
             []  # staticcheck: shared(_poll_mutex); bounded(poll_workers)
         self._lock: "threading.Lock | WitnessedLock" = threading.Lock()
         if witness is not None:
@@ -167,7 +192,33 @@ class StorageDaemon:
         self._consecutive_failures = 0  # staticcheck: shared(_lock)
         self._backoff_s = 0.0  # staticcheck: shared(_lock)
         self._last_flush_at: float | None = None  # staticcheck: shared(_lock)
+        # Worker supervision state (see _collect): per-group failure
+        # streaks and park deadlines, sized to the worker count on the
+        # first fan-out poll.
+        self.worker_hangs = 0  # staticcheck: shared(_lock)
+        self.worker_deaths = 0  # staticcheck: shared(_lock)
+        self.restarts = 0  # staticcheck: shared(_lock)
+        self._group_failures: list[int] = \
+            []  # staticcheck: shared(_lock); bounded(poll_workers)
+        self._group_parked_until: list[float] = \
+            []  # staticcheck: shared(_lock); bounded(poll_workers)
+        # Unread-loss observed by the latest poll: workload rows that
+        # fell off a shard's ring before the daemon read them (the true
+        # overload signal the controller consumes).
+        self._last_poll_loss: dict[int, int] = \
+            {}  # staticcheck: shared(_lock); bounded(shard_count)
+        self._generation = 0  # staticcheck: shared(_lock)
+        self._last_heartbeat: float | None = None  # staticcheck: shared(_lock)
+        # Overload controller fed after every poll; attached once at
+        # setup time, before the daemon thread starts.
+        self.controller: "OverloadController | None" = \
+            None  # staticcheck: shared(_poll_mutex)
         self.resync()
+
+    def attach_controller(self, controller: "OverloadController") -> None:
+        """Wire the degradation-ladder controller (call before start)."""
+        with self._poll_mutex:
+            self.controller = controller
 
     # -- crash recovery ------------------------------------------------------
 
@@ -208,26 +259,30 @@ class StorageDaemon:
         """Grow/refresh the worker session pool to ``count`` entries.
 
         Like :meth:`_ensure_session`, connecting under ``_poll_mutex``
-        is deliberate — the mutex serializes daemon polls only.
+        is deliberate — the mutex serializes daemon polls only.  A None
+        slot marks a session abandoned to a hung worker (never closed,
+        never reused); it gets a fresh replacement here.
         """
         sessions = self._worker_sessions
         connect = self.engine.connect
         for index, session in enumerate(sessions):
-            if session.closed:
+            if session is None or session.closed:
                 sessions[index] = connect(  # staticcheck: ignore[LCK004]
                     self.ima_database)
         while len(sessions) < count:
             sessions.append(connect(  # staticcheck: ignore[LCK004]
                 self.ima_database))
-        return sessions[:count]  # staticcheck: allocfree(bounded-by-poll-workers)
+        return sessions[:count]  # type: ignore[return-value]  # staticcheck: allocfree(bounded-by-poll-workers)
 
     def poll_once(self) -> PollStats:
         """One wake-up: read new IMA rows; flush if the batch is due.
 
         Raises on failure (after recording it) so foreground callers
         see the error; the background loop catches and retries with
-        backoff.
+        backoff.  Every outcome — success or failure — feeds the
+        overload controller, so pressure tracks sick polls too.
         """
+        started = time.perf_counter()
         with self._poll_mutex:
             try:
                 # Holding _poll_mutex across the SQL round trips is the
@@ -236,9 +291,35 @@ class StorageDaemon:
                 stats = self._poll_locked()  # staticcheck: ignore[LCK004]
             except (ReproError, OSError) as error:
                 self._record_failure(error)
+                self._notify_controller(time.perf_counter() - started)
                 raise
             self._record_success()
+            self._notify_controller(time.perf_counter() - started)
             return stats
+
+    # staticcheck: guarded-by(_poll_mutex)
+    def _notify_controller(self, duration_s: float) -> None:
+        """Feed the latest poll's signals to the overload controller."""
+        controller = self.controller
+        if controller is None:
+            return
+        with self._lock:
+            pending = sum(len(rows) for rows in self._pending.values())
+            loss = dict(self._last_poll_loss)
+        controller.note_poll(duration_s, pending,
+                             self.config.max_pending_rows, loss,
+                             self.parked_shards())
+
+    def parked_shards(self) -> tuple[int, ...]:
+        """Shards whose worker group is currently quarantined."""
+        now = self.clock.now()
+        with self._lock:
+            groups = len(self._group_parked_until)
+            return tuple(
+                shard
+                for index, until in enumerate(self._group_parked_until)
+                if until > now
+                for shard in range(index, self.shard_count, groups))
 
     # staticcheck: hotpath
     def _poll_locked(self) -> PollStats:
@@ -252,7 +333,7 @@ class StorageDaemon:
             }
         # The SQL round trips run without the daemon's cheap lock held —
         # a poll must never block counter reads on query execution.
-        batches, collected = self._collect(high_water)
+        batches, collected, loss = self._collect(high_water)
         with self._lock:
             last_seq = self._last_seq
             for ima_table, vector in high_water.items():
@@ -262,6 +343,7 @@ class StorageDaemon:
                         marks[shard] = seq
             for wl_table, rows in batches.items():
                 self._admit_pending(wl_table, rows)
+            self._last_poll_loss = loss
             self.total_polls += 1
             self._polls_since_flush += 1
             flush_due = self._polls_since_flush >= self.config.flush_every_polls
@@ -279,9 +361,11 @@ class StorageDaemon:
 
     # staticcheck: guarded-by(_poll_mutex)
     def _collect(self, high_water: dict[str, list[int]],
-                 ) -> tuple[dict[str, list[tuple[int, tuple]]], int]:
+                 ) -> tuple[dict[str, list[tuple[int, tuple]]], int,
+                            dict[int, int]]:
         """Read every shard's new IMA rows into per-table batches,
-        raising the ``high_water`` marks in place.
+        raising the ``high_water`` marks in place; returns the batches,
+        the row count, and the per-shard unread-loss observations.
 
         With ``poll_workers`` > 1 the shards fan out over that many
         worker threads, each reading through its own session.  The poll
@@ -290,65 +374,159 @@ class StorageDaemon:
         consistency argument is unchanged.  If any worker fails the
         first error is re-raised and nothing is admitted — the marks
         don't advance, and the next poll re-reads.
+
+        Workers are supervised: each stamps a heartbeat slot, the
+        collector joins against a shared deadline
+        (``worker_heartbeat_timeout_s``), and a worker that misses it
+        is *abandoned* — its daemon thread left to die, its session
+        slot replaced, the incident counted — so a hung worker fails
+        the round loudly instead of wedging ``_poll_mutex`` forever.
+        A worker that dies records its exception whatever the type
+        (previously only ReproError/OSError were recorded and anything
+        else left the group silently unpolled).  Groups that fail
+        ``worker_park_after`` consecutive rounds are parked for
+        ``worker_park_cooldown_s``: their shards are skipped (and
+        reported to the overload controller, which sheds them) while
+        the healthy groups keep flowing; an expired cooldown re-admits
+        the group half-open — one more failure re-parks it, a success
+        clears it.
         """
         workers = min(self.config.poll_workers, self.shard_count)
+        loss: dict[int, int] = {}  # staticcheck: allocfree(bounded-by-shard-count)
         if workers <= 1:
+            # The worker fault seams fire here too, so arming
+            # daemon.poll_worker.die/hang affects a single-worker daemon
+            # (the inline collector IS the worker): die fails the poll
+            # through the normal failure channel, hang charges latency.
+            faultsim.fire("daemon.poll_worker.die")
+            faultsim.fire("daemon.poll_worker.hang", clock=self.clock)
             batches: dict[str, list[tuple[int, tuple]]] = {  # staticcheck: allocfree(fixed-table-key-space)
                 wl_table: [] for wl_table in TABLE_SOURCES}
             # Reading IMA over SQL under _poll_mutex is the daemon's
             # design (see poll_once); the mutex never touches hot paths.
             collected = self._poll_shards(  # staticcheck: ignore[LCK004]
                 self._ensure_session(), range(self.shard_count),  # staticcheck: ignore[LCK004]
-                high_water, batches)
-            return batches, collected
+                high_water, batches, loss)
+            return batches, collected, loss
+        # One wall-clock read per poll (not per statement) is the
+        # supervision design, not a hot-path leak.
+        now = self.clock.now()  # staticcheck: allocfree(once-per-poll)
+        with self._lock:
+            if len(self._group_parked_until) != workers:
+                self._group_parked_until = [0.0] * workers  # staticcheck: allocfree(bounded-by-poll-workers)
+                self._group_failures = [0] * workers  # staticcheck: allocfree(bounded-by-poll-workers)
+            active = [index for index in range(workers)  # staticcheck: allocfree(bounded-by-poll-workers)
+                      if self._group_parked_until[index] <= now]
+        if not active:
+            raise MonitorError(
+                "every poll worker group is parked; next retry after "
+                "cooldown")
         groups = [range(index, self.shard_count, workers)  # staticcheck: allocfree(bounded-by-poll-workers)
                   for index in range(workers)]
         sessions = self._ensure_worker_sessions(workers)  # staticcheck: ignore[LCK004]
+        heartbeats = self._worker_heartbeats
+        while len(heartbeats) < workers:
+            heartbeats.append(0.0)
         outcomes: list[
             tuple[dict[str, list[tuple[int, tuple]]], dict[str, list[int]],
-                  int] | Exception | None] = [None] * workers  # staticcheck: allocfree(bounded-by-poll-workers)
+                  int, dict[int, int]] | Exception | None] = \
+            [None] * workers  # staticcheck: allocfree(bounded-by-poll-workers)
 
         def poll_group(index: int) -> None:
             # Each worker reads against its own copy of the marks and
             # into its own batches; the owning thread merges after join,
-            # so workers share no mutable state.
+            # so workers share no mutable state (heartbeat slots are
+            # index-disjoint by construction).
+            heartbeats[index] = self.clock.now()
             local_water = {table: list(vector)
                            for table, vector in high_water.items()}
             local_batches: dict[str, list[tuple[int, tuple]]] = {
                 wl_table: [] for wl_table in TABLE_SOURCES}
+            local_loss: dict[int, int] = {}
             try:
+                faultsim.fire("daemon.poll_worker.die")
+                faultsim.fire("daemon.poll_worker.hang", clock=self.clock)
                 count = self._poll_shards(sessions[index], groups[index],
-                                          local_water, local_batches)
-            except (ReproError, OSError) as error:
+                                          local_water, local_batches,
+                                          local_loss)
+            except Exception as error:  # noqa: BLE001  # staticcheck: ignore[EXC002]
+                # A worker death of *any* type must be recorded, not
+                # vanish into a None outcome that stalls the group
+                # silently; the owning thread re-raises it below.
                 outcomes[index] = error
                 return
-            outcomes[index] = (local_batches, local_water, count)
+            heartbeats[index] = self.clock.now()
+            outcomes[index] = (local_batches, local_water, count, local_loss)
 
-        threads = [  # staticcheck: allocfree(one-thread-per-worker-per-poll)
-            threading.Thread(target=poll_group, args=(index,),
-                             name=f"repro-daemon-poll-{index}", daemon=True)  # staticcheck: allocfree(one-thread-per-worker-per-poll)
-            for index in range(workers)
-        ]
-        for thread in threads:
+        threads = {  # staticcheck: allocfree(one-thread-per-worker-per-poll)
+            index: threading.Thread(
+                target=poll_group, args=(index,),
+                name=f"repro-daemon-poll-{index}", daemon=True)  # staticcheck: allocfree(one-thread-per-worker-per-poll)
+            for index in active
+        }
+        for thread in threads.values():
             thread.start()
-        for thread in threads:
+        # The join deadline must be real elapsed time even under a
+        # VirtualClock (whose sleep doesn't block), or a hung worker
+        # would wedge _poll_mutex forever in virtual-time tests.
+        timeout_s = self.config.worker_heartbeat_timeout_s
+        deadline = time.monotonic() + timeout_s  # staticcheck: ignore[CLK001]
+        hung: list[int] = []  # staticcheck: allocfree(bounded-by-poll-workers)
+        for index, thread in threads.items():
             # Joining under _poll_mutex is deliberate: the workers ARE
             # this poll, and the mutex must not release until every
-            # worker's reads are merged.
-            thread.join()  # staticcheck: ignore[LCK004]
+            # worker's reads are merged — but never past the heartbeat
+            # deadline, which bounds how long a hung worker can hold
+            # the poll.
+            thread.join(max(0.0, deadline - time.monotonic()))  # staticcheck: ignore[LCK004,CLK001]
+            if thread.is_alive():
+                hung.append(index)
+        for index in hung:
+            # Abandon, don't wait: the thread is daemonized, its session
+            # may still be in use by the zombie (so the slot is nulled,
+            # never closed), and the round fails loudly below.  Building
+            # the error here is once-per-hung-worker, not per-statement.
+            self._worker_sessions[index] = None
+            outcomes[index] = MonitorError(  # staticcheck: allocfree(once-per-hung-worker)
+                f"poll worker {index} missed the "  # staticcheck: allocfree(once-per-hung-worker)
+                f"{timeout_s:g}s heartbeat "
+                f"deadline (last heartbeat {heartbeats[index]:g}); "
+                "thread abandoned, session replaced")
         merged: dict[str, list[tuple[int, tuple]]] = {  # staticcheck: allocfree(fixed-table-key-space)
             wl_table: [] for wl_table in TABLE_SOURCES}
         collected = 0
         failure: Exception | None = None
-        for index, outcome in enumerate(outcomes):
+        with self._lock:
+            self.worker_hangs += len(hung)
+            failures = self._group_failures
+            parked_until = self._group_parked_until
+            park_after = self.config.worker_park_after
+            cooldown_s = self.config.worker_park_cooldown_s
+            for index in active:
+                outcome = outcomes[index]
+                failed = outcome is None or isinstance(outcome, Exception)
+                if failed:
+                    if isinstance(outcome, Exception) and index not in hung:
+                        self.worker_deaths += 1
+                    # Streaks survive parking: a half-open retry that
+                    # fails re-parks immediately, a success clears.
+                    failures[index] += 1
+                    if failures[index] >= park_after:
+                        parked_until[index] = now + cooldown_s
+                else:
+                    failures[index] = 0
+                    parked_until[index] = 0.0
+        for index in active:
+            outcome = outcomes[index]
             if isinstance(outcome, Exception):
                 if failure is None:
                     failure = outcome
                 continue
             if outcome is None:  # pragma: no cover - worker died unrecorded
                 continue
-            local_batches, local_water, count = outcome
+            local_batches, local_water, count, local_loss = outcome
             collected += count
+            loss.update(local_loss)
             for table, rows in local_batches.items():
                 merged[table].extend(rows)
             for table, vector in local_water.items():
@@ -357,12 +535,19 @@ class StorageDaemon:
                     if vector[shard] > marks[shard]:
                         marks[shard] = vector[shard]
         if failure is not None:
-            raise failure
-        return merged, collected
+            if isinstance(failure, (ReproError, OSError)):
+                raise failure
+            # Arbitrary worker exceptions surface through the daemon's
+            # normal failure channel instead of killing the loop.
+            raise MonitorError(
+                f"poll worker died: {type(failure).__name__}: "
+                f"{failure}") from failure
+        return merged, collected, loss
 
     def _poll_shards(self, session: "Session", shards: Sequence[int],
                      high_water: dict[str, list[int]],
-                     batches: dict[str, list[tuple[int, tuple]]]) -> int:
+                     batches: dict[str, list[tuple[int, tuple]]],
+                     loss: dict[int, int] | None = None) -> int:
         """Collect rows newer than ``high_water`` for ``shards`` into
         ``batches``, raising the marks in place; returns rows read.
 
@@ -370,6 +555,15 @@ class StorageDaemon:
         the shard column exists for the per-shard poll queries and is
         stripped here, so the persisted ``wl_*`` schemas are unchanged
         (the shard survives inside ``src_seq``).
+
+        ``loss`` (when given) receives per-shard *unread loss* for the
+        workload ring: the gap between the previous high-water mark and
+        the oldest live row means that many rows were overwritten
+        before this poll read them.  Only the workload table is
+        measured — it is the per-statement ring that floods first, and
+        keyed buffers have natural seq gaps (upserts skip seqs), so a
+        gap there is not loss.  A zero mark is skipped: the first poll
+        of a warm ring would otherwise count start-up history as loss.
         """
         collected = 0
         query_prefix = self._poll_query_prefix
@@ -377,10 +571,20 @@ class StorageDaemon:
             marks = high_water[ima_table]
             rows = batches[wl_table]
             append_row = rows.append
+            measure_loss = loss is not None and wl_table == "wl_workload"
             for shard in shards:
+                mark = marks[shard]
                 result = session.execute(
-                    query_prefix[ima_table, shard] + str(marks[shard]))
-                for row in result.rows:
+                    query_prefix[ima_table, shard] + str(mark))
+                result_rows = result.rows
+                if measure_loss and mark > 0 and result_rows:
+                    # Encoded seqs of one shard share the stride, so the
+                    # local gap is the encoded gap divided by it.
+                    gap = (result_rows[0][0] - mark) // SHARD_STRIDE - 1
+                    if gap > 0:
+                        assert loss is not None
+                        loss[shard] = gap
+                for row in result_rows:
                     seq = row[0]  # staticcheck: domain(encoded_seq)
                     if seq > marks[shard]:
                         marks[shard] = seq
@@ -521,6 +725,7 @@ class StorageDaemon:
 
     def status(self) -> DaemonStatus:
         """Health snapshot (the shell's ``\\daemon status``)."""
+        now = self.clock.now()
         with self._lock:
             return DaemonStatus(
                 running=self._thread is not None and self._thread.is_alive(),
@@ -535,6 +740,13 @@ class StorageDaemon:
                 total_rows_flushed=self.total_rows_flushed,
                 total_rows_purged=self.total_rows_purged,
                 last_flush_at=self._last_flush_at,
+                worker_hangs=self.worker_hangs,
+                worker_deaths=self.worker_deaths,
+                parked_groups=tuple(
+                    index for index, until
+                    in enumerate(self._group_parked_until) if until > now),
+                restarts=self.restarts,
+                last_heartbeat=self._last_heartbeat,
             )
 
     # -- background thread -------------------------------------------------------
@@ -544,14 +756,54 @@ class StorageDaemon:
 
         Refuses while a previous thread is still alive — including one
         whose ``stop()`` timed out — so two daemons can never poll the
-        same high-water marks concurrently.
+        same high-water marks concurrently (``restart()`` is the
+        supervised path that may supersede a live thread: it bumps the
+        generation so the old thread exits on its next wake-up, and
+        ``_poll_mutex`` keeps polls serialized meanwhile).
         """
         if self._thread is not None and self._thread.is_alive():
             raise MonitorError("storage daemon is already running")
         self._stop.clear()
+        with self._lock:
+            generation = self._generation
         self._thread = threading.Thread(
-            target=self._run, name="repro-storage-daemon", daemon=True)
+            target=self._run, args=(generation,),
+            name="repro-storage-daemon", daemon=True)
         self._thread.start()
+
+    def restart(self) -> None:
+        """Supervisor entry point: supersede the poll thread.
+
+        Safe against a hung or dead thread: the generation bump makes
+        any zombie exit at its next wake-up, the fresh stop event means
+        the replacement does not inherit a set flag, and correctness
+        never depended on thread identity — ``_poll_mutex`` serializes
+        whole polls, so even a zombie that wakes mid-replacement cannot
+        interleave with the new thread's polls.
+        """
+        with self._lock:
+            self._generation += 1
+            self.restarts += 1
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.config.stop_join_timeout_s)
+            # Alive or not, the handle is dropped: a wedged thread is
+            # superseded (it exits via the generation check when it
+            # unwedges) rather than blocking recovery forever.
+            self._thread = None
+        self._stop = threading.Event()
+        self.start()
+
+    def last_heartbeat(self) -> float | None:
+        """Engine-clock stamp of the poll loop's latest wake-up."""
+        with self._lock:
+            return self._last_heartbeat
+
+    def is_alive(self) -> bool:
+        """Whether the poll thread is currently running."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
 
     def stop(self, final_flush: bool = True) -> None:
         """Stop the thread; by default run one last poll and flush.
@@ -596,10 +848,13 @@ class StorageDaemon:
             self._session = None
             self._worker_sessions.clear()
 
-    def _run(self) -> None:
+    def _run(self, generation: int) -> None:
         while True:
             with self._lock:
+                if self._generation != generation:
+                    break  # superseded by restart(); a zombie exits here
                 backoff = self._backoff_s
+                self._last_heartbeat = self.clock.now()
             if self._stop.wait(self.config.poll_interval_s + backoff):
                 break
             try:

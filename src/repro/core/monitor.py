@@ -39,6 +39,14 @@ from repro.core.sensors import Sensors, StatementContext, statement_hash
 
 STATISTICS_MIN_INTERVAL_S = 1.0
 
+# Degradation ladder levels (mirrored from repro.core.overload, which
+# imports this module; plain ints because the admission gate compares
+# them on the per-statement hot path).
+_DETAILED = 0
+_SAMPLED = 1
+_COUNTS_ONLY = 2
+_SHED = 3
+
 
 def _bump_statement(record: StatementRecord, now: float) -> StatementRecord:
     """Hoisted :meth:`KeyedRingBuffer.bump` callback for plan-cache
@@ -77,6 +85,17 @@ class IntegratedMonitor:
         self.sensor_calls = 0  # staticcheck: shared(_counter_lock)
         self.sensor_time_s = 0.0  # staticcheck: shared(_counter_lock)
         self._last_statistics_at = float("-inf")  # staticcheck: shared(_counter_lock)
+        # Degradation ladder state pushed by the overload controller
+        # (repro.core.overload) and applied by the admission gate.  The
+        # conservation counters keep `issued == admitted + sampled_out
+        # + shed` exact at quiescence, where admitted is the workload
+        # ring's total_appended.
+        self.degradation_level = _DETAILED  # staticcheck: shared(_counter_lock)
+        self._sample_k = 1  # staticcheck: shared(_counter_lock)
+        self._sample_counter = 0  # staticcheck: shared(_counter_lock)
+        self.issued = 0  # staticcheck: shared(_counter_lock)
+        self.sampled_out = 0  # staticcheck: shared(_counter_lock)
+        self.shed = 0  # staticcheck: shared(_counter_lock)
 
     # -- recording -------------------------------------------------------
 
@@ -160,6 +179,50 @@ class IntegratedMonitor:
     # staticcheck: hotpath
     def record_workload(self, record: WorkloadRecord) -> int:
         return self.workload.append(record)
+
+    # -- degradation ladder (repro.core.overload) --------------------------
+
+    # staticcheck: coldpath(controller-transitions-only)
+    def set_degradation(self, level: int, sample_k: int) -> None:
+        """Apply a ladder level decided by the overload controller."""
+        with self._counter_lock:
+            self.degradation_level = level
+            self._sample_k = max(1, sample_k)
+
+    # staticcheck: hotpath
+    def admit_workload(self) -> bool:
+        """The admission gate: count one issued statement and decide
+        whether its workload record is admitted at full detail.
+
+        The level is re-read under the counter lock so the decision
+        always matches the counter it bumps — a controller transition
+        between a caller's stale read and the count here cannot
+        misattribute the statement.  DETAILED (the overwhelming common
+        case) pays one extra uncontended acquisition (~100 ns against
+        ~100 µs statements, inside the bench gate's tolerance).
+        """
+        with self._counter_lock:
+            self.issued += 1
+            level = self.degradation_level
+            if level == _DETAILED:
+                return True
+            if level == _SAMPLED:
+                self._sample_counter += 1
+                if self._sample_counter >= self._sample_k:
+                    self._sample_counter = 0
+                    return True
+                self.sampled_out += 1
+                return False
+            if level == _COUNTS_ONLY:
+                self.sampled_out += 1
+                return False
+            self.shed += 1
+            return False
+
+    def degradation_counters(self) -> tuple[int, int, int]:
+        """``(issued, sampled_out, shed)`` read atomically."""
+        with self._counter_lock:
+            return self.issued, self.sampled_out, self.shed
 
     # staticcheck: coldpath(plan-capture-miss-only)
     def record_plan(self, text_hash: int, estimated_cost: float,
@@ -263,6 +326,7 @@ class MonitorSensors(Sensors):
         self._record_workload = monitor.record_workload
         self._note_sensor_calls = monitor.note_sensor_calls
         self._statements_get = monitor.statements.get
+        self._admit_workload = monitor.admit_workload
 
     def for_session(self, session_id: int) -> "MonitorSensors":
         return MonitorSensors(self.monitor, session_id,
@@ -280,6 +344,11 @@ class MonitorSensors(Sensors):
             text_hash=statement_hash(text),
             started_monotonic=t0,
             session_id=session_id if session_id else self._session_id,
+            # Benign stale read of the ladder level: a transition that
+            # races this statement only shifts which side of it the
+            # statement lands on; the admission gate re-reads the level
+            # under the counter lock when it counts.
+            degradation=self.monitor.degradation_level,  # staticcheck: ignore[OWN001]
         )
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
@@ -297,13 +366,18 @@ class MonitorSensors(Sensors):
         t0 = time.perf_counter()
         ctx.statement_kind = kind
         monitor = self.monitor
-        # Deferred timestamping: the one wall-clock read this statement
-        # pays, reused by every later sensor via the context.
-        ctx.wall_time = monitor.clock.now()
-        is_new = self._record_statement(ctx.text, ctx.text_hash,
-                                        ctx.wall_time)
-        if is_new or not monitor.config.statement_cache_enabled:
-            monitor.record_references(ctx.text_hash, table_names)
+        # Ladder gating: SHED records nothing (not even the clock
+        # read); COUNTS_ONLY keeps the statement frequency bump but
+        # skips reference logging; SAMPLED and DETAILED record fully.
+        if ctx.degradation < _SHED:
+            # Deferred timestamping: the one wall-clock read this
+            # statement pays, reused by every later sensor.
+            ctx.wall_time = monitor.clock.now()
+            is_new = self._record_statement(ctx.text, ctx.text_hash,
+                                            ctx.wall_time)
+            if ((is_new or not monitor.config.statement_cache_enabled)
+                    and ctx.degradation < _COUNTS_ONLY):
+                monitor.record_references(ctx.text_hash, table_names)
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
         ctx.sensor_calls += 1
@@ -328,7 +402,7 @@ class MonitorSensors(Sensors):
         known = self._statements_get(ctx.text_hash)
         cached = (monitor.config.statement_cache_enabled
                   and known is not None and known.frequency > 1)
-        if not cached:
+        if not cached and ctx.degradation < _COUNTS_ONLY:
             monitor.record_references(
                 ctx.text_hash, (), referenced_columns, used_indexes)
             threshold = monitor.config.plan_capture_min_cost
@@ -352,24 +426,35 @@ class MonitorSensors(Sensors):
         if ctx is None:
             return
         t0 = time.perf_counter()
-        self._record_workload(WorkloadRecord(  # staticcheck: allocfree(workload-record-is-the-product)
-            text_hash=ctx.text_hash,
-            session_id=ctx.session_id,
-            timestamp=ctx.wall_time,  # captured once at parse_complete
-            optimize_time_s=ctx.optimize_time_s,
-            execute_time_s=execute_time_s,
-            wallclock_s=wallclock_s,
-            estimated_io=ctx.estimated_io,
-            estimated_cpu=ctx.estimated_cpu,
-            actual_io=actual_io,
-            actual_cpu=actual_cpu,
-            logical_reads=logical_reads,
-            physical_reads=physical_reads,
-            tuples_processed=tuples_processed,
-            rows_returned=rows_returned,
-            used_indexes=",".join(ctx.used_indexes),
-            monitor_time_s=ctx.monitor_time_s,
-        ))
+        # The admission gate counts this statement as issued and
+        # decides (under the counter lock) whether its workload record
+        # is kept — suppressed statements land in sampled_out/shed so
+        # conservation stays exact under every ladder state.
+        if self._admit_workload():
+            timestamp = ctx.wall_time  # captured once at parse_complete
+            if timestamp == 0.0:
+                # The shard recovered from SHED mid-statement, so parse
+                # skipped the clock read; admitted records must carry a
+                # real timestamp for daemon retention.
+                timestamp = self.monitor.clock.now()  # staticcheck: allocfree(shed-recovery-edge-only)
+            self._record_workload(WorkloadRecord(  # staticcheck: allocfree(workload-record-is-the-product)
+                text_hash=ctx.text_hash,
+                session_id=ctx.session_id,
+                timestamp=timestamp,
+                optimize_time_s=ctx.optimize_time_s,
+                execute_time_s=execute_time_s,
+                wallclock_s=wallclock_s,
+                estimated_io=ctx.estimated_io,
+                estimated_cpu=ctx.estimated_cpu,
+                actual_io=actual_io,
+                actual_cpu=actual_cpu,
+                logical_reads=logical_reads,
+                physical_reads=physical_reads,
+                tuples_processed=tuples_processed,
+                rows_returned=rows_returned,
+                used_indexes=",".join(ctx.used_indexes),
+                monitor_time_s=ctx.monitor_time_s,
+            ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
         # Terminal sensor: fold the statement's whole sensor tally
@@ -382,25 +467,28 @@ class MonitorSensors(Sensors):
             return
         t0 = time.perf_counter()
         # Errors still count as executions with zero cost so that the
-        # statement history shows failing statements.
-        self.monitor.record_workload(WorkloadRecord(
-            text_hash=ctx.text_hash,
-            session_id=ctx.session_id,
-            timestamp=self.monitor.clock.now(),
-            optimize_time_s=ctx.optimize_time_s,
-            execute_time_s=0.0,
-            wallclock_s=0.0,
-            estimated_io=ctx.estimated_io,
-            estimated_cpu=ctx.estimated_cpu,
-            actual_io=0.0,
-            actual_cpu=0.0,
-            logical_reads=0,
-            physical_reads=0,
-            tuples_processed=0,
-            rows_returned=0,
-            used_indexes="",
-            monitor_time_s=ctx.monitor_time_s,
-        ))
+        # statement history shows failing statements; the error path
+        # goes through the same admission gate as execute_complete so
+        # failed statements stay inside the conservation ledger.
+        if self.monitor.admit_workload():
+            self.monitor.record_workload(WorkloadRecord(
+                text_hash=ctx.text_hash,
+                session_id=ctx.session_id,
+                timestamp=self.monitor.clock.now(),
+                optimize_time_s=ctx.optimize_time_s,
+                execute_time_s=0.0,
+                wallclock_s=0.0,
+                estimated_io=ctx.estimated_io,
+                estimated_cpu=ctx.estimated_cpu,
+                actual_io=0.0,
+                actual_cpu=0.0,
+                logical_reads=0,
+                physical_reads=0,
+                tuples_processed=0,
+                rows_returned=0,
+                used_indexes="",
+                monitor_time_s=ctx.monitor_time_s,
+            ))
         elapsed = time.perf_counter() - t0
         ctx.monitor_time_s += elapsed
         # Terminal sensor on the error path: same one-shot fold as

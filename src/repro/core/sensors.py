@@ -53,6 +53,12 @@ class StatementContext:
     read instead of paying one syscall per record."""
     statement_kind: str = ""
     session_id: int = 0
+    degradation: int = 0
+    """Shard degradation level stamped at statement_start (a benign
+    stale read): later sensors of the same statement use it to decide
+    what detail to skip without re-reading monitor state.  The
+    authoritative issued/sampled_out/shed counting happens in the
+    monitor's admission gate, under its counter lock."""
     # Scratch fields filled by earlier sensors, consumed at execute_complete.
     estimated_io: float = 0.0
     estimated_cpu: float = 0.0

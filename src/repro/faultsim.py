@@ -17,6 +17,16 @@ points* wired into the pipeline's seams:
                           (`core/analyzer/recommendations.py`)
 ``analyzer.scan``         analyzer workload scan (`core/analyzer/analyzer.py`)
 ``journal.write``         tuning-journal append (`core/tuning_journal.py`)
+``daemon.poll_worker.hang``  daemon poll worker stall — arm with
+                          ``latency`` (sleeps past the heartbeat
+                          deadline) or an ``on_fire`` event hook
+                          (`core/daemon.py`)
+``daemon.poll_worker.die``   daemon poll worker death — raises inside
+                          the worker loop (`core/daemon.py`)
+``monitor.ring_flood``    overload-controller pressure override — an
+                          armed trigger forces every shard's pressure
+                          to 1.0 for that observation
+                          (`core/overload.py`)
 ========================  ====================================================
 
 A point is *armed* with a trigger mode — ``once``, ``every-n``,
@@ -59,6 +69,9 @@ FAIL_POINTS = (
     "ddl.apply",
     "analyzer.scan",
     "journal.write",
+    "daemon.poll_worker.hang",
+    "daemon.poll_worker.die",
+    "monitor.ring_flood",
 )
 
 MODES = ("once", "every-n", "for-duration", "probability")

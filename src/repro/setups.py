@@ -4,18 +4,27 @@ Section V uses three Ingres instances: *Original* (no monitoring code),
 *Monitoring* (sensors compiled in) and *Daemon* (monitoring plus the
 storage daemon).  These helpers build the equivalent configurations so
 examples, tests and benchmarks share one definition.
+
+The daemon setup also wires the overload-resilience subsystem
+(:mod:`repro.core.overload`): an :class:`OverloadController` attached
+to the daemon (fed after every poll) plus health-surface registrations
+on the engine, so ``engine.health()`` reports the daemon, the ladder
+and — once :func:`attach_supervisor` is called — the thread
+supervisor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.clock import Clock
 from repro.config import DaemonConfig, EngineConfig
 from repro.core.daemon import StorageDaemon
+from repro.core.health import Supervisor
 from repro.core.ima import register_ima_tables
 from repro.core.lockwitness import LockWitness
 from repro.core.monitor import IntegratedMonitor, MonitorSensors
+from repro.core.overload import OverloadController
 from repro.core.sensors import NullSensors
 from repro.core.sharding import ShardedMonitor, ShardedMonitorSensors
 from repro.core.workload_db import WorkloadDatabase
@@ -31,6 +40,8 @@ class Setup:
     monitor: IntegratedMonitor | ShardedMonitor | None = None
     workload_db: WorkloadDatabase | None = None
     daemon: StorageDaemon | None = None
+    controller: OverloadController | None = None
+    supervisor: Supervisor | None = None
 
 
 def original_setup(config: EngineConfig | None = None,
@@ -73,7 +84,11 @@ def daemon_setup(database_name: str,
     ``setup.daemon.start()`` or drive ``poll_once`` manually).  With a
     ``lock_witness`` every engine/daemon lock is wrapped so the run
     produces runtime lock-order evidence (see
-    :mod:`repro.core.lockwitness`)."""
+    :mod:`repro.core.lockwitness`).
+
+    When ``MonitorConfig.overload.enabled`` (the default) an
+    :class:`OverloadController` is attached to the daemon and both are
+    registered on the engine's health surface."""
     setup = monitoring_setup(config, clock, lock_witness=lock_witness)
     engine = setup.engine
     database = engine.create_database(database_name)
@@ -87,4 +102,43 @@ def daemon_setup(database_name: str,
     setup.name = "daemon"
     setup.workload_db = workload_db
     setup.daemon = daemon
+    engine.register_health_source(
+        "daemon", lambda: _daemon_health(daemon))
+    if engine.config.monitor.overload.enabled:
+        controller = OverloadController(setup.monitor,
+                                        engine.config.monitor.overload,
+                                        engine.clock)
+        daemon.attach_controller(controller)
+        setup.controller = controller
+        engine.register_health_source("overload", controller.snapshot)
     return setup
+
+
+def attach_supervisor(setup: Setup,
+                      tuner: "object | None" = None) -> Supervisor:
+    """Build a :class:`Supervisor` watching the setup's daemon (and
+    optionally an :class:`~repro.core.autopilot.AutonomousTuner`),
+    registered on the engine health surface.  Not started — call
+    ``supervisor.start()`` or drive ``tick()`` manually."""
+    engine = setup.engine
+    supervisor = Supervisor(engine.config.supervisor, engine.clock)
+    daemon = setup.daemon
+    if daemon is not None:
+        supervisor.watch("storage-daemon", daemon.is_alive,
+                         daemon.last_heartbeat, daemon.restart)
+    if tuner is not None:
+        supervisor.watch(
+            "autonomous-tuner",
+            tuner.is_alive,  # type: ignore[attr-defined]
+            tuner.last_heartbeat,  # type: ignore[attr-defined]
+            tuner.restart)  # type: ignore[attr-defined]
+    setup.supervisor = supervisor
+    engine.register_health_source("supervisor", supervisor.snapshot)
+    return supervisor
+
+
+def _daemon_health(daemon: StorageDaemon) -> dict[str, object]:
+    """The daemon's status dataclass as a JSON-shaped dict."""
+    status = asdict(daemon.status())
+    status["parked_groups"] = list(status["parked_groups"])
+    return status

@@ -23,6 +23,15 @@ Two execution modes, both reachable from the command line
     GIL-free load generator for soak runs.  It cannot share a monitor
     across processes (nothing can; the buffers are in-core by design),
     so it reports per-process throughput only.
+
+A third mode, ``--storm``, turns the thread driver into an overload
+burst: deliberately tiny workload rings and fast ladder thresholds, a
+poll-worker hang and repeated worker deaths injected mid-run, then a
+quiesce phase.  It exits non-zero unless the degradation ladder
+provably reached SHED, the conservation ledger balanced bit-exactly,
+every shard recovered to DETAILED and no poll group stayed parked —
+the end-to-end overload-resilience contract of
+:mod:`repro.core.overload`.
 """
 
 from __future__ import annotations
@@ -35,11 +44,24 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro import faultsim
 from repro.clock import Clock, SystemClock
-from repro.config import DaemonConfig, EngineConfig, MonitorConfig
+from repro.config import (
+    DaemonConfig,
+    EngineConfig,
+    MonitorConfig,
+    OverloadConfig,
+)
+from repro.core.overload import (
+    DETAILED,
+    LEVEL_NAMES,
+    SHED,
+    conservation_violations,
+)
 from repro.core.sharding import SHARD_STRIDE, shard_of_seq
 from repro.core.workload_db import WORKLOAD_TABLES
-from repro.setups import Setup, daemon_setup, monitoring_setup
+from repro.errors import ReproError
+from repro.setups import Setup, attach_supervisor, daemon_setup, monitoring_setup
 from repro.workloads.nref import NrefScale, load_nref
 from repro.workloads.queries import point_query_statements
 from repro.workloads.runner import RunReport, WorkloadRunner
@@ -246,6 +268,147 @@ def run_thread_mode(sessions: int, statements_per_session: int,
     return report, violations
 
 
+def run_storm_mode(sessions: int, statements_per_session: int,
+                   proteins: int, seed: int = 13,
+                   ) -> tuple[dict, list[str]]:
+    """Overload burst against a daemon-attached sharded engine.
+
+    Real-clock phases: a **baseline** pass plus poll establishes every
+    shard's high-water mark (unread loss is measured against it); a
+    **burst** phase appends faster than the tiny workload rings can be
+    polled, so loss pressure walks shards down the ladder; a **fault**
+    phase hangs one poll worker past its heartbeat deadline and then
+    kills every worker until both poll groups park (parked shards are
+    forced to SHED); a **recovery** phase clears the faults and polls
+    until the groups half-open back and every shard climbs back to
+    DETAILED.
+
+    Returns ``(summary, violations)``; the summary carries the final
+    engine health snapshot, and violations is empty only if the storm
+    provably degraded to SHED *and* fully healed: conservation exact on
+    every shard, all shards DETAILED, every degraded window closed, no
+    poll group parked.
+    """
+    faultsim.reset()
+    shard_count = min(sessions, SHARD_STRIDE)
+    config = EngineConfig(
+        monitor=MonitorConfig(
+            shard_count=shard_count,
+            workload_buffer_size=96,
+            overload=OverloadConfig(sample_k=4, escalate_dwell=1,
+                                    recover_dwell=2)),
+        daemon=DaemonConfig(poll_workers=2,
+                            flush_every_polls=1,
+                            worker_heartbeat_timeout_s=0.3,
+                            worker_park_after=2,
+                            worker_park_cooldown_s=0.2))
+    setup = daemon_setup("nref", config=config)
+    daemon, controller, monitor = setup.daemon, setup.controller, setup.monitor
+    assert daemon is not None and controller is not None
+    assert monitor is not None
+    clock = setup.engine.clock
+    daemon.start()  # inert during the storm (30 s interval) but gives
+    supervisor = attach_supervisor(setup)  # the supervisor a live watch
+    scale = NrefScale(proteins=proteins)
+    load_nref(setup.engine.database("nref"), scale)
+    driver = ThreadedDriver(
+        setup.engine, "nref",
+        _statement_lists(sessions, statements_per_session, scale, seed))
+    summary: dict = {"mode": "storm", "sessions": sessions,
+                     "shard_count": shard_count, "passes": 0,
+                     "statements": 0, "errors": 0, "poll_failures": 0,
+                     "recovery_polls": 0}
+
+    def one_pass() -> None:
+        report = driver.run_pass()
+        summary["passes"] += 1
+        summary["statements"] += report.statements
+        summary["errors"] += report.errors
+
+    def try_poll() -> bool:
+        try:
+            daemon.poll_once()
+        except (ReproError, OSError):
+            summary["poll_failures"] += 1
+            return False
+        return True
+
+    violations: list[str] = []
+    try:
+        # Baseline: one pass, one clean poll — every shard now has a
+        # persisted high-water mark to measure unread loss against.
+        one_pass()
+        try_poll()
+
+        # Burst: two passes per poll overrun the 96-row rings, so each
+        # poll sees unread loss and (dwell 1) degrades one rung.
+        for _ in range(2):
+            one_pass()
+            one_pass()
+            try_poll()
+
+        # Faults: one worker sleeps past the 0.3 s heartbeat deadline
+        # (abandoned as hung), then every worker dies on every poll
+        # until both groups park and their shards are forced to SHED.
+        faultsim.arm_from_spec(
+            "daemon.poll_worker.hang:once,latency=0.8", clock=clock)
+        try_poll()
+        faultsim.arm_from_spec("daemon.poll_worker.die:every-n=1")
+        for _ in range(3):
+            one_pass()
+            try_poll()
+            supervisor.tick()
+        faultsim.reset()
+
+        # Recovery: traffic stops; quiesce polls let the 0.2 s park
+        # cooldown expire (half-open success unparks) and walk every
+        # shard back down the ladder to DETAILED.
+        for attempt in range(80):
+            summary["recovery_polls"] = attempt + 1
+            healthy = try_poll()
+            supervisor.tick()
+            if (healthy and not daemon.parked_shards()
+                    and set(controller.levels()) == {DETAILED}):
+                break
+            clock.sleep(0.05)
+        daemon.flush()
+
+        # The storm contract, checked at quiescence.
+        violations.extend(conservation_violations(monitor))
+        for shard_id, level in enumerate(controller.levels()):
+            if level != DETAILED:
+                violations.append(
+                    f"shard {shard_id} stuck at {LEVEL_NAMES[level]} "
+                    "after recovery")
+        parked = daemon.parked_shards()
+        if parked:
+            violations.append(
+                f"poll groups still parked for shards {sorted(parked)}")
+        windows = controller.degraded_windows()
+        peak = max((w["peak_level"] for w in windows), default=DETAILED)
+        if peak < SHED:
+            violations.append(
+                "storm never forced any shard to SHED "
+                f"(peak level {LEVEL_NAMES[peak]}) — not a storm")
+        if any(w["ended_at"] is None for w in windows):
+            violations.append("degraded window left open after recovery")
+        status = daemon.status()
+        if status.worker_hangs == 0:
+            violations.append("no poll worker was hung by the storm")
+        if status.worker_deaths == 0:
+            violations.append("no poll worker died in the storm")
+        summary["worker_hangs"] = status.worker_hangs
+        summary["worker_deaths"] = status.worker_deaths
+        summary["degraded_windows"] = windows
+        summary["supervisor_states"] = supervisor.states()
+        summary["health"] = setup.engine.health()
+    finally:
+        driver.close()
+        daemon.stop(final_flush=False)
+        faultsim.reset()
+    return summary, violations
+
+
 def _process_worker(payload: tuple[int, int, int, int]) -> tuple[int, int]:
     """One process-mode worker: private monitored engine, one session.
 
@@ -311,7 +474,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="drain the daemon and verify persisted "
                              "exactly-once/ordering/attribution invariants")
+    parser.add_argument("--storm", action="store_true",
+                        help="overload burst: tiny rings, fast ladder, "
+                             "worker hang/death faults, then verify the "
+                             "ladder reached SHED, conservation held "
+                             "exactly and everything recovered to "
+                             "DETAILED (ignores --mode/--shards/"
+                             "--workers/--check)")
     args = parser.parse_args(argv)
+
+    if args.storm:
+        summary, violations = run_storm_mode(
+            args.sessions, args.statements, args.proteins, seed=args.seed)
+        summary["violations"] = violations
+        print(json.dumps(summary, indent=2, default=str))
+        for violation in violations:
+            print(f"STORM CHECK FAIL: {violation}", file=sys.stderr)
+        return 1 if violations else 0
 
     shard_count = args.shards or min(args.sessions, SHARD_STRIDE)
     failed = False
@@ -345,6 +524,7 @@ __all__ = [
     "ThreadedDriver",
     "main",
     "run_process_mode",
+    "run_storm_mode",
     "run_thread_mode",
     "verify_persisted_invariants",
 ]

@@ -1,0 +1,734 @@
+"""Overload-resilience tests: degradation ladder, admission gate,
+worker supervision, the thread supervisor and the health surface.
+
+Deterministic throughout: virtual clocks, event-gated hangs, no sleeps
+beyond the sub-second real-clock heartbeat deadline the hung-worker
+test needs.  The new faultsim points get the same trigger-mode coverage
+the PR-3 points have.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import faultsim
+from repro.clock import VirtualClock
+from repro.config import (
+    DaemonConfig,
+    EngineConfig,
+    MonitorConfig,
+    OverloadConfig,
+    SupervisorConfig,
+)
+from repro.core.health import PARKED, RESTARTING, RUNNING, Supervisor
+from repro.core.monitor import IntegratedMonitor
+from repro.core.overload import (
+    COUNTS_ONLY,
+    DETAILED,
+    LEVEL_NAMES,
+    SAMPLED,
+    SHED,
+    OverloadController,
+    conservation_report,
+    conservation_violations,
+)
+from repro.core.records import WorkloadRecord
+from repro.core.sharding import (
+    MergedKeyedView,
+    MergedRingView,
+    ShardedMonitor,
+)
+from repro.errors import InjectedFault, MonitorError, ReproError
+from repro.setups import attach_supervisor, daemon_setup, monitoring_setup
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faultsim.reset()
+    yield
+    faultsim.reset()
+
+
+def _record(text_hash: int, session_id: int,
+            ts: float = 0.0) -> WorkloadRecord:
+    return WorkloadRecord(
+        text_hash=text_hash, session_id=session_id, timestamp=ts,
+        optimize_time_s=0.0, execute_time_s=0.0, wallclock_s=0.0,
+        estimated_io=0.0, estimated_cpu=0.0, actual_io=0.0, actual_cpu=0.0,
+        logical_reads=0, physical_reads=0, tuples_processed=0,
+        rows_returned=0, used_indexes="", monitor_time_s=0.0)
+
+
+# -- the new faultsim points (trigger modes, like the PR-3 seams) -----------
+
+
+class TestNewFaultPoints:
+    def test_points_are_registered(self):
+        for point in ("daemon.poll_worker.hang", "daemon.poll_worker.die",
+                      "monitor.ring_flood"):
+            assert point in faultsim.FAIL_POINTS
+
+    def test_die_once_fires_then_disarms(self):
+        inj = faultsim.FaultInjector()
+        inj.arm("daemon.poll_worker.die", "once")
+        with pytest.raises(InjectedFault):
+            inj.fire("daemon.poll_worker.die")
+        inj.fire("daemon.poll_worker.die")  # disarmed
+        stats = inj.stats("daemon.poll_worker.die")[0]
+        assert stats.triggers == 1 and stats.armed is None
+
+    def test_die_every_n(self):
+        inj = faultsim.FaultInjector()
+        inj.arm("daemon.poll_worker.die", "every-n", n=2)
+        outcomes = []
+        for _ in range(6):
+            try:
+                inj.fire("daemon.poll_worker.die")
+                outcomes.append(False)
+            except InjectedFault:
+                outcomes.append(True)
+        assert outcomes == [False, True] * 3
+
+    def test_hang_latency_charges_virtual_clock(self):
+        clock = VirtualClock(50.0)
+        inj = faultsim.FaultInjector()
+        inj.arm("daemon.poll_worker.hang", "once", latency_s=3.0)
+        inj.fire("daemon.poll_worker.hang", clock=clock)
+        assert clock.now() == 53.0
+        assert inj.stats("daemon.poll_worker.hang")[0].latency_injected_s \
+            == 3.0
+
+    def test_flood_for_duration_window(self):
+        clock = VirtualClock(0.0)
+        inj = faultsim.FaultInjector()
+        inj.arm("monitor.ring_flood", "for-duration", duration_s=10.0,
+                clock=clock)
+        with pytest.raises(InjectedFault):
+            inj.fire("monitor.ring_flood", clock=clock)
+        clock.advance(11.0)
+        inj.fire("monitor.ring_flood", clock=clock)  # window closed
+        assert inj.stats("monitor.ring_flood")[0].armed is None
+
+    def test_specs_parse_and_arm(self):
+        inj = faultsim.FaultInjector()
+        for spec in ("daemon.poll_worker.die:every-n=3",
+                     "daemon.poll_worker.hang:once,latency=0.5",
+                     "monitor.ring_flood:p=0.5,seed=9"):
+            faultsim.arm_from_spec(spec, injector=inj)
+        assert inj.armed_points() == ("daemon.poll_worker.die",
+                                      "daemon.poll_worker.hang",
+                                      "monitor.ring_flood")
+
+    def test_ring_flood_forces_escalation(self):
+        monitor = IntegratedMonitor(MonitorConfig(), VirtualClock(0.0))
+        controller = OverloadController(
+            monitor, OverloadConfig(escalate_dwell=1, recover_dwell=1))
+        faultsim.arm_from_spec("monitor.ring_flood:once")
+        controller.observe()
+        assert controller.levels() == (SAMPLED,)
+        controller.observe()  # disarmed; empty ring pressure ~ 0
+        assert controller.levels() == (DETAILED,)
+        windows = controller.degraded_windows()
+        assert len(windows) == 1 and windows[0]["ended_at"] is not None
+
+
+# -- the admission gate -----------------------------------------------------
+
+
+class TestAdmissionGate:
+    def _monitor(self) -> IntegratedMonitor:
+        return IntegratedMonitor(MonitorConfig(), VirtualClock(0.0))
+
+    def test_detailed_admits_everything(self):
+        monitor = self._monitor()
+        assert all(monitor.admit_workload() for _ in range(5))
+        assert monitor.degradation_counters() == (5, 0, 0)
+
+    def test_sampled_admits_one_in_k(self):
+        monitor = self._monitor()
+        monitor.set_degradation(SAMPLED, 3)
+        admitted = [monitor.admit_workload() for _ in range(6)]
+        assert admitted == [False, False, True, False, False, True]
+        assert monitor.degradation_counters() == (6, 4, 0)
+
+    def test_counts_only_and_shed_suppress_but_count(self):
+        monitor = self._monitor()
+        monitor.set_degradation(COUNTS_ONLY, 8)
+        assert not monitor.admit_workload()
+        monitor.set_degradation(SHED, 8)
+        assert not monitor.admit_workload()
+        assert monitor.degradation_counters() == (2, 1, 1)
+
+    def test_sample_k_clamped_to_one(self):
+        monitor = self._monitor()
+        monitor.set_degradation(SAMPLED, 0)
+        assert monitor.admit_workload()  # k=1 degenerates to DETAILED
+
+
+class TestSensorGating:
+    """The ladder through real SQL traffic, one level at a time."""
+
+    def _session(self):
+        setup = monitoring_setup(clock=VirtualClock(1000.0))
+        engine = setup.engine
+        engine.create_database("db")
+        session = engine.connect("db")
+        session.execute("create table t (a integer)")
+        session.execute("insert into t values (1)")
+        return setup, session
+
+    def test_detailed_records_everything(self):
+        setup, session = self._session()
+        monitor = setup.monitor
+        workload_before = len(monitor.workload)
+        statements_before = len(monitor.statements)
+        session.execute("select a from t where a = 1")
+        assert len(monitor.workload) == workload_before + 1
+        assert len(monitor.statements) == statements_before + 1
+        assert conservation_violations(monitor) == []
+
+    def test_sampled_keeps_one_in_k_workload_records(self):
+        setup, session = self._session()
+        monitor = setup.monitor
+        monitor.set_degradation(SAMPLED, 4)
+        before = len(monitor.workload)
+        for _ in range(8):
+            session.execute("select a from t where a = 1")
+        assert len(monitor.workload) == before + 2
+        assert conservation_violations(monitor) == []
+
+    def test_counts_only_bumps_statements_not_workload(self):
+        setup, session = self._session()
+        monitor = setup.monitor
+        monitor.set_degradation(COUNTS_ONLY, 4)
+        workload_before = len(monitor.workload)
+        references_before = len(monitor.references)
+        statements_before = len(monitor.statements)
+        session.execute("select a from t where a = 41")  # new text
+        assert len(monitor.statements) == statements_before + 1
+        assert len(monitor.workload) == workload_before
+        assert len(monitor.references) == references_before
+        assert conservation_violations(monitor) == []
+
+    def test_shed_records_nothing_but_counts(self):
+        setup, session = self._session()
+        monitor = setup.monitor
+        monitor.set_degradation(SHED, 4)
+        workload_before = len(monitor.workload)
+        statements_before = len(monitor.statements)
+        _issued, _sampled, shed_before = monitor.degradation_counters()
+        for _ in range(3):
+            session.execute("select a from t where a = 99")
+        assert len(monitor.workload) == workload_before
+        assert len(monitor.statements) == statements_before
+        assert monitor.degradation_counters()[2] == shed_before + 3
+        assert conservation_violations(monitor) == []
+
+    def test_conservation_across_level_changes(self):
+        setup, session = self._session()
+        monitor = setup.monitor
+        for level in (DETAILED, SAMPLED, COUNTS_ONLY, SHED, DETAILED):
+            monitor.set_degradation(level, 2)
+            for _ in range(5):
+                session.execute("select a from t where a = 1")
+        report = conservation_report(monitor)[0]
+        assert report["issued"] == (report["admitted"]
+                                    + report["sampled_out"]
+                                    + report["shed"])
+        assert conservation_violations(monitor) == []
+
+
+# -- the controller ---------------------------------------------------------
+
+
+class TestOverloadController:
+    def _controller(self, **overrides):
+        config = OverloadConfig(**{"escalate_dwell": 2, "recover_dwell": 2,
+                                   **overrides})
+        monitor = IntegratedMonitor(MonitorConfig(), VirtualClock(0.0))
+        return OverloadController(monitor, config), monitor
+
+    def _pressure(self, controller, fraction: float) -> None:
+        """One observation at the given loss pressure."""
+        capacity = controller.shards[0].workload.capacity
+        controller.note_poll(0.0, 0, 100,
+                             {0: int(capacity * fraction)})
+
+    def test_escalation_needs_dwell(self):
+        controller, _ = self._controller()
+        self._pressure(controller, 1.0)
+        assert controller.levels() == (DETAILED,)  # dwell 2: not yet
+        self._pressure(controller, 1.0)
+        assert controller.levels() == (SAMPLED,)
+
+    def test_dead_band_resets_both_streaks(self):
+        controller, _ = self._controller()
+        self._pressure(controller, 1.0)
+        self._pressure(controller, 0.5)  # dead band: streak lost
+        self._pressure(controller, 1.0)
+        assert controller.levels() == (DETAILED,)
+        self._pressure(controller, 1.0)
+        assert controller.levels() == (SAMPLED,)
+
+    def test_recovery_one_rung_per_dwell(self):
+        controller, _ = self._controller()
+        for _ in range(4):
+            self._pressure(controller, 1.0)
+        assert controller.levels() == (COUNTS_ONLY,)
+        for _ in range(2):
+            self._pressure(controller, 0.0)
+        assert controller.levels() == (SAMPLED,)
+        for _ in range(2):
+            self._pressure(controller, 0.0)
+        assert controller.levels() == (DETAILED,)
+
+    def test_loss_component_decays_on_clean_polls(self):
+        controller, _ = self._controller()
+        self._pressure(controller, 1.0)
+        controller.note_poll(0.0, 0, 100, {})  # clean poll: no loss
+        snapshot = controller.snapshot()
+        assert snapshot["shards"][0]["loss_component"] == 0.0
+
+    def test_parked_shard_forced_to_shed_and_recovers(self):
+        controller, _ = self._controller(recover_dwell=1)
+        controller.note_poll(0.0, 0, 100, {}, parked_shards=(0,))
+        assert controller.levels() == (SHED,)
+        # Still parked: stays SHED regardless of pressure.
+        controller.note_poll(0.0, 0, 100, {}, parked_shards=(0,))
+        assert controller.levels() == (SHED,)
+        # Unparked and calm: climbs back one rung per observation.
+        for expected in (COUNTS_ONLY, SAMPLED, DETAILED):
+            controller.note_poll(0.0, 0, 100, {})
+            assert controller.levels() == (expected,)
+
+    def test_degraded_windows_open_close_and_bound(self):
+        controller, _ = self._controller(escalate_dwell=1, recover_dwell=1,
+                                         window_history=2)
+        for _ in range(3):
+            self._pressure(controller, 1.0)  # degrade (opens window)
+            self._pressure(controller, 0.0)  # recover (closes it)
+        windows = controller.degraded_windows()
+        assert len(windows) == 2  # oldest trimmed
+        assert all(w["ended_at"] is not None for w in windows)
+        assert all(w["peak_level_name"] == "SAMPLED" for w in windows)
+
+    def test_full_ring_alone_never_escalates(self):
+        controller, monitor = self._controller(escalate_dwell=1)
+        for i in range(monitor.workload.capacity + 10):
+            monitor.record_workload(_record(i, 1))
+        for _ in range(5):
+            controller.note_poll(0.0, 0, 100, {})
+        assert controller.levels() == (DETAILED,)
+        occupancy = controller.snapshot()["shards"][0]["occupancy"]
+        assert occupancy == 1.0
+
+    def test_conservation_report_accepts_all_shapes(self):
+        clock = VirtualClock(0.0)
+        plain = IntegratedMonitor(MonitorConfig(), clock)
+        sharded = ShardedMonitor(MonitorConfig(shard_count=3), clock)
+        assert len(conservation_report(plain)) == 1
+        assert len(conservation_report(sharded)) == 3
+        assert len(conservation_report(sharded.shards)) == 3
+
+    def test_snapshot_shape(self):
+        controller, _ = self._controller()
+        snapshot = controller.snapshot()
+        assert set(snapshot) == {"shards", "signals", "observations",
+                                 "transitions", "degraded_windows",
+                                 "conservation"}
+        assert snapshot["shards"][0]["level_name"] == "DETAILED"
+        json.dumps(snapshot)  # health surface requires JSON shape
+
+
+# -- daemon worker supervision ----------------------------------------------
+
+
+def _worker_setup(shard_count: int = 4, park_after: int = 2,
+                  cooldown: float = 300.0):
+    clock = VirtualClock(1_000.0)
+    config = EngineConfig(monitor=MonitorConfig(shard_count=shard_count))
+    daemon_config = DaemonConfig(poll_workers=2, flush_every_polls=1,
+                                 worker_heartbeat_timeout_s=0.2,
+                                 worker_park_after=park_after,
+                                 worker_park_cooldown_s=cooldown)
+    setup = daemon_setup("nref", config=config, clock=clock,
+                         daemon_config=daemon_config)
+    return setup, clock
+
+
+def _feed(setup, rows_per_shard: int = 3) -> None:
+    for shard_id, shard in enumerate(setup.monitor.shards):
+        for i in range(rows_per_shard):
+            shard.record_workload(_record(1000 * shard_id + i, shard_id))
+
+
+class TestWorkerDeathAndParking:
+    def test_die_point_fires_in_single_worker_daemon(self):
+        # The inline collector IS the worker: arming the die point must
+        # fail the poll even without fan-out (poll_workers=1).
+        clock = VirtualClock(0.0)
+        setup = daemon_setup("nref", clock=clock,
+                             daemon_config=DaemonConfig())
+        faultsim.arm_from_spec("daemon.poll_worker.die:once")
+        with pytest.raises(InjectedFault):
+            setup.daemon.poll_once()
+        assert setup.daemon.status().poll_failures == 1
+        setup.daemon.poll_once()  # disarmed: recovers
+
+    def test_worker_death_fails_poll_and_counts(self):
+        setup, _clock = _worker_setup()
+        _feed(setup)
+        faultsim.arm_from_spec("daemon.poll_worker.die:every-n=1")
+        with pytest.raises(ReproError):
+            setup.daemon.poll_once()
+        assert setup.daemon.status().worker_deaths == 2  # both workers
+
+    def test_groups_park_after_consecutive_failures(self):
+        setup, clock = _worker_setup()
+        daemon = setup.daemon
+        _feed(setup)
+        faultsim.arm_from_spec("daemon.poll_worker.die:every-n=1")
+        for _ in range(2):
+            with pytest.raises(ReproError):
+                daemon.poll_once()
+        assert daemon.status().parked_groups == (0, 1)
+        # All groups parked: the poll refuses outright.
+        with pytest.raises(MonitorError):
+            daemon.poll_once()
+        # Cooldown expiry + disarm: the half-open retry succeeds and
+        # unparks everything.
+        faultsim.reset()
+        clock.advance(301.0)
+        daemon.poll_once()
+        assert daemon.status().parked_groups == ()
+        assert daemon.parked_shards() == ()
+
+    def test_partial_park_keeps_other_groups_flowing(self):
+        setup, clock = _worker_setup()
+        daemon = setup.daemon
+
+        def kill_group_zero(_point: str) -> None:
+            if threading.current_thread().name == "repro-daemon-poll-0":
+                raise InjectedFault("injected: worker 0 dies")
+
+        faultsim.get_injector().arm("daemon.poll_worker.die", "every-n",
+                                    n=1, on_fire=kill_group_zero)
+        _feed(setup)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                daemon.poll_once()
+        assert daemon.status().parked_groups == (0,)
+        # Group 0 parked (shards 0 and 2 unpolled), group 1 still flows.
+        _feed(setup)
+        daemon.poll_once()
+        assert daemon.parked_shards() == (0, 2)
+        # The controller forces the unpolled shards to SHED.
+        assert setup.controller.level_of(0) == SHED
+        assert setup.controller.level_of(2) == SHED
+        assert setup.controller.level_of(1) == DETAILED
+        # Half-open failure re-parks immediately (streak survives).
+        clock.advance(301.0)
+        with pytest.raises(InjectedFault):
+            daemon.poll_once()
+        assert daemon.status().parked_groups == (0,)
+        # Half-open success clears the streak and unparks.
+        faultsim.reset()
+        clock.advance(301.0)
+        daemon.poll_once()
+        assert daemon.status().parked_groups == ()
+
+    def test_hung_worker_abandoned_and_slot_replaced(self):
+        setup, _clock = _worker_setup()
+        daemon = setup.daemon
+        release = threading.Event()
+
+        def stall(_point: str) -> None:
+            release.wait(timeout=10.0)
+
+        faultsim.get_injector().arm("daemon.poll_worker.hang", "once",
+                                    on_fire=stall)
+        _feed(setup)
+        try:
+            with pytest.raises(MonitorError, match="heartbeat"):
+                daemon.poll_once()
+        finally:
+            release.set()
+        status = daemon.status()
+        assert status.worker_hangs == 1
+        assert status.worker_deaths == 0
+        # The abandoned worker's session slot was nulled; the next poll
+        # builds a fresh one and succeeds.
+        _feed(setup)
+        daemon.poll_once()
+        assert daemon.status().worker_hangs == 1
+
+    def test_daemon_restart_and_heartbeat(self):
+        setup, _clock = _worker_setup()
+        daemon = setup.daemon
+        daemon.start()
+        try:
+            assert daemon.is_alive()
+            assert daemon.last_heartbeat() is not None
+            daemon.restart()
+            assert daemon.is_alive()
+            assert daemon.status().restarts == 1
+        finally:
+            daemon.stop(final_flush=False)
+        assert not daemon.is_alive()
+
+
+# -- the supervisor ---------------------------------------------------------
+
+
+class _FakeWorker:
+    def __init__(self) -> None:
+        self.alive = True
+        self.heartbeat: float | None = None
+        self.restarts = 0
+
+    def restart(self) -> None:
+        self.restarts += 1
+
+
+def _supervisor(**overrides):
+    config = SupervisorConfig(**{
+        "heartbeat_timeout_s": 10.0,
+        "restart_backoff_initial_s": 5.0,
+        "restart_backoff_factor": 2.0,
+        "restart_backoff_max_s": 60.0,
+        "park_after_restarts": 2,
+        "park_cooldown_s": 100.0,
+        **overrides})
+    worker = _FakeWorker()
+    supervisor = Supervisor(config, VirtualClock(0.0))
+    supervisor.watch("w", lambda: worker.alive, lambda: worker.heartbeat,
+                     worker.restart)
+    return supervisor, worker
+
+
+class TestSupervisor:
+    def test_healthy_watch_stays_running(self):
+        supervisor, _worker = _supervisor()
+        supervisor.tick(now=1.0)
+        assert supervisor.states() == {"w": RUNNING}
+
+    def test_dead_watch_restarts_with_backoff(self):
+        supervisor, worker = _supervisor()
+        worker.alive = False
+        supervisor.tick(now=1.0)
+        assert supervisor.states() == {"w": RESTARTING}
+        assert worker.restarts == 1
+        supervisor.tick(now=2.0)  # within backoff: no second restart
+        assert worker.restarts == 1
+        supervisor.tick(now=7.0)  # past 1+5s backoff
+        assert worker.restarts == 2
+
+    def test_parks_after_restart_budget_then_half_opens(self):
+        supervisor, worker = _supervisor()
+        worker.alive = False
+        supervisor.tick(now=1.0)   # restart 1 (streak 1)
+        supervisor.tick(now=10.0)  # restart 2 (streak 2)
+        supervisor.tick(now=30.0)  # streak at budget: PARK, no restart
+        assert supervisor.states() == {"w": PARKED}
+        assert worker.restarts == 2
+        supervisor.tick(now=50.0)  # cooling down: still parked, no call
+        assert worker.restarts == 2
+        supervisor.tick(now=131.0)  # past cooldown: half-open restart
+        assert worker.restarts == 3
+        assert supervisor.states() == {"w": RESTARTING}
+
+    def test_healthy_tick_resets_streak_and_unparks(self):
+        supervisor, worker = _supervisor()
+        worker.alive = False
+        supervisor.tick(now=1.0)
+        worker.alive = True
+        supervisor.tick(now=2.0)
+        assert supervisor.states() == {"w": RUNNING}
+        snapshot = supervisor.snapshot()
+        assert snapshot["watches"][0]["restart_streak"] == 0
+
+    def test_stale_heartbeat_is_unhealthy_even_if_alive(self):
+        supervisor, worker = _supervisor()
+        worker.heartbeat = 0.0
+        supervisor.tick(now=5.0)  # age 5 <= 10: healthy
+        assert supervisor.states() == {"w": RUNNING}
+        supervisor.tick(now=50.0)  # age 50 > 10: stale
+        assert supervisor.states() == {"w": RESTARTING}
+        assert worker.restarts == 1
+
+    def test_probe_and_restart_errors_are_contained(self):
+        supervisor = Supervisor(SupervisorConfig(), VirtualClock(0.0))
+
+        def bad_probe() -> bool:
+            raise MonitorError("probe exploded")
+
+        def bad_restart() -> None:
+            raise MonitorError("restart exploded")
+
+        supervisor.watch("w", bad_probe, lambda: None, bad_restart)
+        supervisor.tick(now=1.0)  # must not raise
+        watch = supervisor.snapshot()["watches"][0]
+        assert watch["state"] == RESTARTING
+        assert "restart exploded" in watch["last_error"]
+
+    def test_snapshot_is_json_shaped(self):
+        supervisor, _worker = _supervisor()
+        supervisor.tick(now=1.0)
+        json.dumps(supervisor.snapshot())
+
+
+# -- the engine health surface ----------------------------------------------
+
+
+class TestHealthSurface:
+    def test_sick_provider_reports_error_not_raise(self):
+        setup = monitoring_setup(clock=VirtualClock(0.0))
+
+        def sick() -> dict:
+            raise ValueError("kaput")
+
+        setup.engine.register_health_source("sick", sick)
+        snapshot = setup.engine.health()
+        assert snapshot["sick"] == {"error": "ValueError: kaput"}
+        assert "engine" in snapshot and "generated_at" in snapshot
+
+    def test_daemon_setup_wires_sources_and_supervisor(self):
+        setup, _clock = _worker_setup()
+        attach_supervisor(setup)
+        _feed(setup)
+        setup.daemon.poll_once()
+        snapshot = setup.engine.health()
+        assert set(snapshot) >= {"engine", "daemon", "overload",
+                                 "supervisor"}
+        assert snapshot["daemon"]["total_polls"] == 1
+        levels = [s["level_name"] for s in snapshot["overload"]["shards"]]
+        assert levels == ["DETAILED"] * 4
+        names = [w["name"] for w in snapshot["supervisor"]["watches"]]
+        assert names == ["storage-daemon"]
+        json.dumps(snapshot)  # the whole surface must serialize
+
+    def test_overload_disabled_skips_controller(self):
+        clock = VirtualClock(0.0)
+        config = EngineConfig(monitor=MonitorConfig(
+            overload=OverloadConfig(enabled=False)))
+        setup = daemon_setup("nref", config=config, clock=clock)
+        assert setup.controller is None
+        assert "overload" not in setup.engine.health()
+
+
+# -- merged views under starvation, emptiness and SHED ----------------------
+
+
+class TestMergedViewsDegraded:
+    def _monitor(self) -> ShardedMonitor:
+        return ShardedMonitor(MonitorConfig(shard_count=3),
+                              VirtualClock(0.0))
+
+    def test_all_shards_empty(self):
+        monitor = self._monitor()
+        view = monitor.workload
+        assert isinstance(view, MergedRingView)
+        assert len(view) == 0 and view.snapshot() == []
+        keyed = monitor.statements
+        assert isinstance(keyed, MergedKeyedView)
+        assert keyed.get(1) is None and len(keyed.snapshot()) == 0
+
+    def test_starved_shard_contributes_nothing(self):
+        monitor = self._monitor()
+        # Shard 0 never receives traffic (no session hashes to it).
+        monitor.shards[1].record_workload(_record(11, 1))
+        monitor.shards[2].record_workload(_record(22, 2))
+        seqs = [seq for seq, _r in monitor.workload.snapshot()]
+        assert len(seqs) == 2 and seqs == sorted(seqs)
+        assert monitor.workload.total_appended == 2
+
+    def test_shed_shard_serves_its_frozen_window(self):
+        monitor = self._monitor()
+        for shard_id in range(3):
+            # Honor the sensor contract: issue an admission for every
+            # direct record, or the conservation ledger can't balance.
+            assert monitor.shards[shard_id].admit_workload()
+            monitor.shards[shard_id].record_workload(
+                _record(shard_id, shard_id))
+            monitor.shards[shard_id].record_statement(
+                f"select {shard_id}", shard_id, now=float(shard_id))
+        monitor.shards[2].set_degradation(SHED, 1)
+        # SHED gates *admission*, not the view: already-recorded rows
+        # stay readable and merged ordering is unchanged.
+        assert not monitor.shards[2].admit_workload()
+        seqs = [seq for seq, _r in monitor.workload.snapshot()]
+        assert len(seqs) == 3 and seqs == sorted(seqs)
+        assert monitor.statements.get(2) is not None
+        # Conservation on the sharded monitor: only shard 2 shed.
+        report = conservation_report(monitor)
+        assert report[2]["shed"] == 1 and report[0]["shed"] == 0
+        assert conservation_violations(monitor) == []
+
+    def test_clear_resets_windows_not_conservation(self):
+        monitor = self._monitor()
+        monitor.shards[0].set_degradation(SAMPLED, 2)
+        assert not monitor.shards[0].admit_workload()
+        assert monitor.shards[0].admit_workload()
+        monitor.shards[0].record_workload(_record(1, 0))
+        monitor.workload.clear()
+        assert len(monitor.workload) == 0
+        # total_appended survives the clear, so the ledger still holds.
+        assert conservation_violations(monitor) == []
+
+
+# -- shell surface and storm smoke ------------------------------------------
+
+
+class TestShellHealth:
+    @pytest.fixture
+    def shell(self):
+        from repro.cli import Shell
+        instance = Shell("healthdb")
+        yield instance
+        instance.close()
+
+    def test_health_command_returns_full_snapshot(self, shell):
+        payload = json.loads(shell.handle("\\health"))
+        assert set(payload) >= {"engine", "daemon", "overload",
+                                "supervisor"}
+        watch_names = {w["name"]
+                       for w in payload["supervisor"]["watches"]}
+        assert watch_names == {"storage-daemon", "autonomous-tuner"}
+
+    def test_daemon_status_shows_worker_lines(self, shell):
+        text = shell.handle("\\daemon status")
+        assert "workers: hangs 0, deaths 0, parked groups -" in text
+        assert "restarts: 0" in text
+
+    def test_help_mentions_health(self, shell):
+        assert "\\health" in shell.handle("\\help")
+
+
+class TestStormSmoke:
+    def test_drive_storm_runs_clean(self):
+        from repro.workloads.driver import run_storm_mode
+        summary, violations = run_storm_mode(2, 80, 20)
+        assert violations == []
+        assert summary["worker_hangs"] >= 1
+        assert summary["worker_deaths"] >= 1
+        assert summary["errors"] == 0
+        peaks = [w["peak_level_name"]
+                 for w in summary["degraded_windows"]]
+        assert "SHED" in peaks
+
+    def test_chaos_storm_reaches_shed_and_recovers(self):
+        from repro.chaos import SoakConfig, run_soak
+        report = run_soak(SoakConfig(seed=4, rounds=4, storm=True))
+        assert report.peak_level == SHED
+        assert report.conservation_sweeps == 4
+        assert report.health is not None
+        assert "storm: peak SHED" in report.describe()
+
+
+LEVEL_NAME_SET = set(LEVEL_NAMES)
+
+
+def test_level_names_cover_ladder():
+    assert LEVEL_NAME_SET == {"DETAILED", "SAMPLED", "COUNTS_ONLY", "SHED"}
+    assert [DETAILED, SAMPLED, COUNTS_ONLY, SHED] == [0, 1, 2, 3]
